@@ -1,0 +1,82 @@
+"""Experiments F3/F8 — Fig. 3 & Fig. 8: withdrawal epochs on both chains.
+
+Regenerates the epoch/submission-window structure of Fig. 3 (mainchain
+side) and the variable-length sidechain epoch of Fig. 8 (the SC epoch is
+delimited by which SC blocks reference the MC epoch boundaries), plus an
+acceptance matrix for certificate submission heights.
+"""
+
+import pytest
+
+from repro.core.epochs import EpochSchedule
+from benchmarks.conftest import build_funded_sidechain
+
+
+class TestFig3MainchainEpochs:
+    def test_regenerates_fig3(self, benchmark):
+        schedule = EpochSchedule(start_block=10, epoch_len=5, submit_len=2)
+
+        def acceptance_matrix():
+            return {
+                height: schedule.submittable_epoch(height)
+                for height in range(10, 25)
+            }
+
+        matrix = benchmark(acceptance_matrix)
+        # epoch 0 = heights 10..14; its certificate is accepted at 15, 16
+        assert [h for h, e in matrix.items() if e == 0] == [15, 16]
+        assert [h for h, e in matrix.items() if e == 1] == [20, 21]
+        benchmark.extra_info["acceptance"] = {str(k): v for k, v in matrix.items()}
+        print("\nFig. 3 acceptance matrix (height -> submittable epoch):")
+        print("  ", matrix)
+
+    @pytest.mark.parametrize("epoch_len,submit_len", [(5, 2), (10, 3), (50, 10)])
+    def test_bench_schedule_math(self, benchmark, epoch_len, submit_len):
+        schedule = EpochSchedule(
+            start_block=0, epoch_len=epoch_len, submit_len=submit_len
+        )
+
+        def sweep():
+            return sum(
+                schedule.epoch_of_height(h) + schedule.ceasing_height(2)
+                for h in range(epoch_len, epoch_len * 10)
+            )
+
+        benchmark(sweep)
+
+
+class TestFig8SidechainEpochs:
+    def test_regenerates_fig8(self, benchmark):
+        """The SC-side withdrawal epoch is the block range delimited by the
+        references to the MC epoch boundaries; its length in SC blocks may
+        differ from the MC epoch length."""
+        harness, sc, _, _ = benchmark.pedantic(
+            lambda: build_funded_sidechain(epoch_len=4, submit_len=2, seed="f08"),
+            iterations=1,
+            rounds=1,
+        )
+        harness.run_epochs(sc, 1)
+        schedule = sc.config.schedule
+        # group SC blocks by the withdrawal epoch of their last MC reference
+        sc_epochs: dict[int, list[int]] = {}
+        for block in sc.node.blocks:
+            if not block.mc_refs:
+                continue
+            epoch = schedule.epoch_of_height(block.mc_refs[-1].mc_height)
+            sc_epochs.setdefault(epoch, []).append(block.height)
+        assert 0 in sc_epochs and 1 in sc_epochs
+        # each certified withdrawal epoch referenced exactly epoch_len MC blocks
+        for epoch in (0, 1):
+            heights = [
+                ref.mc_height
+                for block in sc.node.blocks
+                for ref in block.mc_refs
+                if schedule.epoch_of_height(ref.mc_height) == epoch
+            ]
+            assert heights == list(
+                range(schedule.first_height(epoch), schedule.last_height(epoch) + 1)
+            )
+        benchmark.extra_info["sc_blocks_per_epoch"] = {
+            str(k): len(v) for k, v in sc_epochs.items()
+        }
+        print(f"\nFig. 8 SC blocks per withdrawal epoch: {sc_epochs}")

@@ -1,0 +1,101 @@
+"""Experiment F4 — Fig. 4/12: the Sidechain Transactions Commitment tree.
+
+Regenerates the figure's structure (per-sidechain subtree with FTHash,
+BTRHash, TxsHash, WCertHash under a root ordered by ledger id), produces
+both an ``mproof`` and a ``proofOfNoData``, and measures build/prove/verify
+costs as the number of sidechains and per-sidechain actions grows.
+"""
+
+import pytest
+
+from repro.core.commitment import build_commitment
+from repro.core.transfers import (
+    BackwardTransferRequest,
+    ForwardTransfer,
+    WithdrawalCertificate,
+    derive_ledger_id,
+)
+from repro.snark.proving import PROOF_SIZE, Proof
+
+
+def make_block_payload(num_sidechains: int, fts_per_sc: int, btrs_per_sc: int):
+    fts, btrs, wcerts = [], [], []
+    for i in range(num_sidechains):
+        ledger = derive_ledger_id(f"f04/sc-{i}")
+        for j in range(fts_per_sc):
+            fts.append(
+                ForwardTransfer(
+                    ledger_id=ledger, receiver_metadata=bytes([j]) * 64, amount=j + 1
+                )
+            )
+        for j in range(btrs_per_sc):
+            btrs.append(
+                BackwardTransferRequest(
+                    ledger_id=ledger,
+                    receiver=bytes([j]) * 32,
+                    amount=j + 1,
+                    nullifier=bytes([i, j]) * 16,
+                    proofdata=(),
+                    proof=Proof(data=bytes(PROOF_SIZE)),
+                )
+            )
+        wcerts.append(
+            WithdrawalCertificate(
+                ledger_id=ledger,
+                epoch_id=0,
+                quality=1,
+                bt_list=(),
+                proofdata=(),
+                proof=Proof(data=bytes(PROOF_SIZE)),
+            )
+        )
+    return fts, btrs, wcerts
+
+
+class TestFig4Commitment:
+    def test_regenerates_fig4(self, benchmark):
+        """Fig. 12's concrete shape: 4 sidechains, SC1 has FT1, BTR4 and a
+        WCert; presence and absence proofs both verify."""
+        fts, btrs, wcerts = make_block_payload(4, fts_per_sc=1, btrs_per_sc=1)
+        tree = benchmark(build_commitment, fts, btrs, wcerts)
+        assert tree.leaf_count == 4
+        sc1 = sorted(c.ledger_id for c in tree.commitments)[0]
+        commitment = tree.commitment_for(sc1)
+        assert len(commitment.forward_transfers) == 1
+        assert len(commitment.btrs) == 1
+        assert commitment.wcert is not None
+        mproof = tree.prove_presence(sc1)
+        assert mproof.verify(tree.root)
+        ghost = derive_ledger_id("f04/ghost")
+        no_data = tree.prove_absence(ghost)
+        assert no_data.verify(tree.root)
+        print(
+            f"\nFig. 4/12: root={tree.root.hex()[:16]}…, 4 SC leaves, "
+            f"mproof ok, proofOfNoData ok"
+        )
+
+    @pytest.mark.parametrize("num_sidechains", [1, 8, 64])
+    def test_bench_build_vs_sidechain_count(self, benchmark, num_sidechains):
+        fts, btrs, wcerts = make_block_payload(num_sidechains, 2, 1)
+        tree = benchmark(build_commitment, fts, btrs, wcerts)
+        benchmark.extra_info["num_sidechains"] = num_sidechains
+        assert tree.leaf_count == num_sidechains
+
+    @pytest.mark.parametrize("fts_per_sc", [1, 16, 128])
+    def test_bench_build_vs_activity(self, benchmark, fts_per_sc):
+        fts, btrs, wcerts = make_block_payload(4, fts_per_sc, 0)
+        benchmark(build_commitment, fts, btrs, wcerts)
+        benchmark.extra_info["fts_per_sc"] = fts_per_sc
+
+    def test_bench_presence_proof_verification(self, benchmark):
+        fts, btrs, wcerts = make_block_payload(64, 2, 1)
+        tree = build_commitment(fts, btrs, wcerts)
+        target = tree.commitments[10].ledger_id
+        proof = tree.prove_presence(target)
+        assert benchmark(proof.verify, tree.root)
+
+    def test_bench_absence_proof_verification(self, benchmark):
+        fts, btrs, wcerts = make_block_payload(64, 1, 0)
+        tree = build_commitment(fts, btrs, wcerts)
+        proof = tree.prove_absence(derive_ledger_id("f04/absent"))
+        assert benchmark(proof.verify, tree.root)

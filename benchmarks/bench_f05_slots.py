@@ -1,0 +1,65 @@
+"""Experiment F5 — Fig. 5: Ouroboros epochs, slots, leaders, skipped slots.
+
+Regenerates the figure's epoch-of-slots schedule with stake-weighted leader
+assignment and skipped slots (a leader whose key nobody holds), and
+verifies the stake-proportionality of the lottery statistically.
+"""
+
+import pytest
+
+from repro.latus.consensus.ouroboros import LeaderSchedule, genesis_seed
+from repro.latus.consensus.stake import StakeDistribution
+
+
+def schedule_for(stakes: dict[int, int], epoch=0, slots=16):
+    return LeaderSchedule(
+        epoch=epoch,
+        seed=genesis_seed(b"\x05" * 32),
+        distribution=StakeDistribution.from_mapping(stakes),
+        slots_per_epoch=slots,
+        bootstrap_leader=0,
+    )
+
+
+class TestFig5Slots:
+    def test_regenerates_fig5(self, benchmark):
+        """An epoch's slot assignment with some slots 'missed' because their
+        leader's key is not held by the simulated forger set."""
+        schedule = schedule_for({1: 60, 2: 30, 3: 10})
+        leaders = benchmark(schedule.leaders)
+        held_keys = {1, 2}  # address 3's forger is offline
+        slot_view = ["block" if l in held_keys else "missed" for l in leaders]
+        assert len(slot_view) == 16
+        assert "missed" in slot_view or 3 not in leaders
+        benchmark.extra_info["slots"] = slot_view
+        print(f"\nFig. 5 epoch: {slot_view}")
+
+    def test_stake_proportional_selection(self, benchmark):
+        distribution = StakeDistribution.from_mapping({1: 70, 2: 20, 3: 10})
+        seed = genesis_seed(b"\x07" * 32)
+        from repro.latus.consensus.ouroboros import slot_leader
+
+        def tally():
+            counts = {1: 0, 2: 0, 3: 0}
+            for slot in range(1000):
+                counts[slot_leader(seed, slot, distribution)] += 1
+            return counts
+
+        counts = benchmark.pedantic(tally, iterations=1, rounds=1)
+        assert counts[1] > counts[2] > counts[3]
+        assert 600 < counts[1] < 800  # ~70%
+        benchmark.extra_info["leader_counts"] = counts
+        print(f"\nF5 leader frequencies over 1000 slots: {counts}")
+
+    @pytest.mark.parametrize("stakeholders", [2, 32, 512])
+    def test_bench_leader_selection_vs_stakeholders(self, benchmark, stakeholders):
+        stakes = {i + 1: 10 + i for i in range(stakeholders)}
+        schedule = schedule_for(stakes, slots=16)
+        benchmark(schedule.leaders)
+        benchmark.extra_info["stakeholders"] = stakeholders
+
+    def test_schedule_deterministic_across_nodes(self, benchmark):
+        a = schedule_for({1: 50, 2: 50})
+        b = schedule_for({1: 50, 2: 50})
+        leaders_a = benchmark(a.leaders)
+        assert leaders_a == b.leaders()

@@ -1,0 +1,74 @@
+"""Experiments F6/F7 — Fig. 6 & Fig. 7: SC↔MC binding and tx synchronization.
+
+Regenerates the binding picture (every MC block from the genesis reference
+onward is referenced exactly once, in order, possibly several per SC block)
+and Fig. 7's property: an MC transaction for this sidechain appears in the
+SC block that references its MC block.  The benchmark measures reference
+construction and verification cost.
+"""
+
+import pytest
+
+from repro.latus.mc_ref import build_mc_ref, verify_mc_ref
+from repro.latus.mst import MerkleStateTree
+from benchmarks.conftest import build_funded_sidechain
+
+
+class TestFig6Binding:
+    def test_regenerates_fig6_and_fig7(self, benchmark):
+        harness, sc, alice, _ = benchmark.pedantic(
+            lambda: build_funded_sidechain(epoch_len=4, seed="f06"),
+            iterations=1,
+            rounds=1,
+        )
+        node = sc.node
+        # Fig. 6: contiguous cover of MC heights from the genesis reference
+        referenced = [
+            ref.mc_height for block in node.blocks for ref in block.mc_refs
+        ]
+        assert referenced == list(
+            range(sc.config.start_block, node.last_referenced_mc_height + 1)
+        )
+        # Fig. 7: the FT landed in the SC block referencing its MC block
+        ft_blocks = [
+            (block.height, ref.mc_height)
+            for block in node.blocks
+            for ref in block.mc_refs
+            if ref.forward_transfers is not None
+        ]
+        assert len(ft_blocks) == 1
+        benchmark.extra_info["referenced_heights"] = len(referenced)
+        print(f"\nFig. 6: {len(referenced)} MC blocks referenced contiguously")
+        print(f"Fig. 7: FT synchronized in SC block {ft_blocks[0][0]} (MC {ft_blocks[0][1]})")
+
+    def test_bench_reference_construction(self, benchmark):
+        harness, sc, _, _ = build_funded_sidechain(seed="f06b")
+        block = harness.mc.chain.tip
+        mst = MerkleStateTree(12)
+        ref = benchmark(build_mc_ref, block, sc.ledger_id, mst)
+        assert ref.header.hash == block.hash
+
+    def test_bench_reference_verification(self, benchmark):
+        harness, sc, _, _ = build_funded_sidechain(seed="f06c")
+        block = harness.mc.chain.tip
+        ref = build_mc_ref(block, sc.ledger_id, MerkleStateTree(12))
+        benchmark(verify_mc_ref, ref, sc.ledger_id)
+
+    @pytest.mark.parametrize("skipped", [0, 3])
+    def test_bench_catchup_after_skipped_slots(self, benchmark, skipped):
+        """Cost of a block that must reference several queued MC blocks at
+        once (skipped slots accumulate references)."""
+        harness, sc, _, _ = build_funded_sidechain(seed=f"f06d-{skipped}")
+        node = sc.node
+        saved_forgers = dict(node.forgers)
+        if skipped:
+            node.forgers.clear()  # skip slots
+            harness.mine(skipped)
+            node.forgers.update(saved_forgers)
+
+        def catch_up():
+            harness.mine(1)
+
+        benchmark.pedantic(catch_up, iterations=1, rounds=1)
+        assert node.last_referenced_mc_height == harness.mc.height
+        benchmark.extra_info["queued_refs"] = skipped + 1

@@ -1,0 +1,88 @@
+"""Experiment F13 — Fig. 13: the forward-transfer flow end to end.
+
+Regenerates the figure: an FT destroys coins on the MC and, once the MC
+block is referenced, mints the same amount on the sidechain; the failure
+path (MST slot collision) refunds via a backward transfer.  Measures the
+end-to-end latency (in MC blocks) and throughput of FT synchronization.
+"""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.latus.transactions import build_forward_transfers_tx, ft_output
+from repro.latus.mst import MerkleStateTree
+from repro.latus.utxo import Utxo
+from repro.core.transfers import ForwardTransfer, derive_ledger_id
+from repro.latus.transactions import pack_receiver_metadata
+from benchmarks.conftest import build_funded_sidechain
+
+ALICE = KeyPair.from_seed("f13/alice")
+
+
+class TestFig13ForwardTransfers:
+    def test_regenerates_fig13(self, benchmark):
+        """MC coins destroyed == SC coins minted; MC-side balance credited."""
+
+        def run():
+            harness, sc, alice, _ = build_funded_sidechain(seed="f13", fund=123_456)
+            return harness, sc, alice
+
+        harness, sc, alice, = benchmark.pedantic(run, iterations=1, rounds=1)
+        sc_balance = harness.wallet(sc, alice).balance()
+        mc_side = harness.mc.state.cctp.balance(sc.ledger_id)
+        assert sc_balance == mc_side == 123_456
+        print(f"\nFig. 13: FT of 123456 destroyed on MC, minted on SC: {sc_balance}")
+
+    def test_ft_failure_refund_path(self, benchmark):
+        """A colliding FT spawns a refunding backward transfer (§5.3.2)."""
+        ledger = derive_ledger_id("f13/fail")
+        payback = KeyPair.from_seed("f13/payback")
+        ft = ForwardTransfer(
+            ledger_id=ledger,
+            receiver_metadata=pack_receiver_metadata(ALICE.address, payback.address),
+            amount=77,
+        )
+        mst = MerkleStateTree(8)
+        blocker = Utxo(addr=1, amount=1, nonce=ft_output(ft, ALICE.address).nonce)
+        mst.add(blocker)
+        tx = benchmark(build_forward_transfers_tx, b"\x01" * 32, (ft,), mst)
+        assert not tx.outputs
+        assert tx.rejected[0].receiver_addr == payback.address
+        assert tx.rejected[0].amount == 77
+        print("\nF13 failure path: collision -> refund BT to payback address")
+
+    @pytest.mark.parametrize("count", [1, 16, 128])
+    def test_bench_ftt_derivation_vs_count(self, benchmark, count):
+        ledger = derive_ledger_id("f13/batch")
+        fts = tuple(
+            ForwardTransfer(
+                ledger_id=ledger,
+                receiver_metadata=pack_receiver_metadata(
+                    ALICE.address, ALICE.address
+                ),
+                amount=i + 1,
+            )
+            for i in range(count)
+        )
+        mst = MerkleStateTree(16)
+        tx = benchmark(build_forward_transfers_tx, b"\x01" * 32, fts, mst)
+        benchmark.extra_info["fts"] = count
+        assert len(tx.outputs) + len(tx.rejected) == count
+
+    def test_bench_end_to_end_latency(self, benchmark):
+        """An FT becomes spendable on the SC one reference behind the MC:
+        latency is the mining of the including block plus its reference."""
+
+        def round_trip():
+            harness, sc, alice, _ = build_funded_sidechain(seed="f13rt", fund=10)
+            start_height = harness.mc.height
+            harness.forward_transfer(sc, alice, 999)
+            mined = 0
+            while harness.wallet(sc, alice).balance() < 1009:
+                harness.mine(1)
+                mined += 1
+            return mined
+
+        blocks_needed = benchmark.pedantic(round_trip, iterations=1, rounds=1)
+        assert blocks_needed <= 2
+        benchmark.extra_info["mc_blocks_to_availability"] = blocks_needed

@@ -1,0 +1,105 @@
+"""Experiment F14 — Fig. 14: the backward-transfer flow (BT and BTR).
+
+Regenerates the figure: a sidechain-initiated BTTx and an MC-submitted BTR
+both end up as backward transfers in withdrawal certificates, which pay out
+on the mainchain.  Measures certificate production cost versus the number
+of backward transfers batched.
+"""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.latus.transactions import sign_backward_transfer
+from repro.core.transfers import BackwardTransfer
+from repro.scenarios import ZendooHarness
+
+
+def build_two_coin_sidechain(seed: str):
+    """A sidechain where alice holds two coins, both in the certified state."""
+    harness = ZendooHarness(miner_seed=f"{seed}/miner")
+    harness.mine(2)
+    sc = harness.create_sidechain(seed, epoch_len=4, submit_len=2)
+    alice = KeyPair.from_seed(f"{seed}/alice")
+    harness.forward_transfer(sc, alice, 40_000)
+    harness.forward_transfer(sc, alice, 60_000)
+    harness.run_epochs(sc, 1)
+    return harness, sc, alice
+
+
+class TestFig14BackwardTransfers:
+    def test_regenerates_fig14(self, benchmark):
+        """BT (from the SC) and BTR (from the MC) flow into WCerts and pay
+        their mainchain receivers."""
+
+        def run():
+            harness, sc, alice = build_two_coin_sidechain("f14")
+            wallet = harness.wallet(sc, alice)
+            dest_bt = KeyPair.from_seed("f14/dest-bt")
+            dest_btr = KeyPair.from_seed("f14/dest-btr")
+            coins = sorted(wallet.utxos(), key=lambda u: u.amount)
+            # regular withdrawal (BTTx) of exactly the 40k coin
+            bt_tx = sign_backward_transfer(
+                [(coins[0], alice)],
+                [
+                    BackwardTransfer(
+                        receiver_addr=dest_bt.address, amount=coins[0].amount
+                    )
+                ],
+            )
+            sc.node.submit_transaction(bt_tx)
+            # mainchain-managed withdrawal (BTR) of the 60k coin, which is
+            # present in the state committed by the latest certificate
+            btr = harness.make_btr(sc, coins[1], alice, dest_btr.address)
+            harness.submit_btr(btr)
+            harness.run_epochs(sc, 2)
+            harness.mine(4)
+            return harness, sc, dest_bt, dest_btr
+
+        harness, sc, dest_bt, dest_btr = benchmark.pedantic(
+            run, iterations=1, rounds=1
+        )
+        paid_bt = harness.mc.state.utxos.balance_of(dest_bt.address)
+        paid_btr = harness.mc.state.utxos.balance_of(dest_btr.address)
+        assert paid_bt == 40_000
+        assert paid_btr == 60_000
+        certs_with_bts = [c for c in sc.node.certificates if c.bt_list]
+        assert certs_with_bts
+        print(
+            f"\nFig. 14: BT paid {paid_bt}, BTR paid {paid_btr}, via "
+            f"{len(certs_with_bts)} certificate(s)"
+        )
+
+    @pytest.mark.parametrize("num_bts", [1, 8, 32])
+    def test_bench_certificate_vs_bt_count(self, benchmark, num_bts):
+        """Batched transfers: one certificate carries any number of BTs;
+        its proof stays constant-size (the sweep behind Q2)."""
+        harness = ZendooHarness(miner_seed=f"f14b-{num_bts}/miner")
+        harness.mine(2)
+        sc = harness.create_sidechain(
+            f"f14b-{num_bts}", epoch_len=6, submit_len=2
+        )
+        alice = KeyPair.from_seed("f14b/alice")
+        for i in range(num_bts):
+            harness.forward_transfer(sc, alice, 1000 + i)
+        harness.mine(2)
+        dest = KeyPair.from_seed("f14b/dest")
+        wallet = harness.wallet(sc, alice)
+        # one BTTx per coin, disjoint inputs: all valid simultaneously
+        for coin in wallet.utxos():
+            tx = sign_backward_transfer(
+                [(coin, alice)],
+                [BackwardTransfer(receiver_addr=dest.address, amount=coin.amount)],
+            )
+            sc.node.submit_transaction(tx)
+        harness.mine(1)
+        queued = len(sc.node.state.backward_transfers)
+        assert queued >= num_bts
+
+        def run_to_cert():
+            harness.run_epochs(sc, 1)
+
+        benchmark.pedantic(run_to_cert, iterations=1, rounds=1)
+        cert = max(sc.node.certificates, key=lambda c: len(c.bt_list))
+        assert len(cert.bt_list) >= num_bts
+        benchmark.extra_info["bt_count"] = len(cert.bt_list)
+        benchmark.extra_info["proof_bytes"] = cert.proof.size_bytes

@@ -1,0 +1,76 @@
+"""Experiment Q1 — Def. 2.3's succinctness, on the real pipeline.
+
+The protocol's central quantitative claim: proof size and verification time
+are *constant* in the size of the proven computation, while proving time
+grows with it.  Swept over the number of transactions per withdrawal epoch
+using the Latus epoch prover.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.bench_f10_recursion import payment_chain
+from repro.latus.proofs import EpochProver
+from repro.snark.proving import PROOF_SIZE
+
+
+class TestQ1Succinctness:
+    def test_proof_size_constant_vs_workload(self, benchmark):
+        prover = EpochProver("per_transaction")
+        sizes = {}
+
+        def sweep():
+            for count in (1, 4, 16, 64):
+                state, txs = payment_chain(count)
+                result = prover.prove_epoch(state, txs)
+                sizes[count] = result.proof.proof.size_bytes
+            return sizes
+
+        benchmark.pedantic(sweep, iterations=1, rounds=1)
+        assert set(sizes.values()) == {PROOF_SIZE}
+        benchmark.extra_info["sizes"] = sizes
+        print(f"\nQ1 proof size (txs -> bytes): {sizes}")
+
+    @pytest.mark.parametrize("count", [1, 8, 32])
+    def test_bench_verify_time_constant(self, benchmark, count):
+        prover = EpochProver("per_transaction")
+        state, txs = payment_chain(count)
+        result = prover.prove_epoch(state, txs)
+        assert benchmark(prover.verify_epoch_proof, result.proof)
+        benchmark.extra_info["transactions"] = count
+
+    def test_prove_grows_verify_does_not(self, benchmark):
+        """The headline shape: proving cost grows ~linearly with the epoch
+        workload; verification stays flat.  Measured directly so the ratio
+        lands in EXPERIMENTS.md."""
+        prover = EpochProver("per_transaction")
+        shape = {}
+
+        def sweep():
+            for count in (2, 8, 32):
+                state, txs = payment_chain(count)
+                t0 = time.perf_counter()
+                result = prover.prove_epoch(state, txs)
+                prove_s = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                for _ in range(50):
+                    prover.verify_epoch_proof(result.proof)
+                verify_s = (time.perf_counter() - t0) / 50
+                shape[count] = (prove_s, verify_s, result.stats.constraints)
+            return shape
+
+        benchmark.pedantic(sweep, iterations=1, rounds=1)
+        prove_2, verify_2, _ = shape[2]
+        prove_32, verify_32, _ = shape[32]
+        # proving scales up strongly (>= 4x over a 16x workload increase)
+        assert prove_32 > prove_2 * 4
+        # verification stays within noise (allow 20x to be safe on CI)
+        assert verify_32 < verify_2 * 20
+        benchmark.extra_info["shape"] = {
+            str(k): {"prove_s": round(p, 4), "verify_s": round(v, 6), "constraints": c}
+            for k, (p, v, c) in shape.items()
+        }
+        print("\nQ1 shape (txs -> prove s / verify s / constraints):")
+        for k, (p, v, c) in shape.items():
+            print(f"  {k:3d} -> {p:.4f}s / {v * 1e6:.1f}µs / {c}")

@@ -1,0 +1,85 @@
+"""Experiment Q2 — §4.1.2: mainchain-side certificate verification.
+
+The design's viability rests on the MC verifying any sidechain's
+certificate in constant time ("succinct proofs and constant time
+verification ... does not impose a significant burden for the mainchain").
+Measures MC-side WCert processing versus the amount of sidechain activity
+behind it, and regenerates the quality-selection rule.
+"""
+
+import pytest
+
+from repro.core.cctp import CctpState
+from tests.test_cctp import AlwaysValid, fake_block_hash, make_cert, make_config, submit_cert
+from repro.core.transfers import BackwardTransfer
+
+
+class TestQ2WcertVerification:
+    @pytest.mark.parametrize("bt_count", [0, 16, 64])
+    def test_bench_mc_verification_vs_bt_count(self, benchmark, bt_count):
+        """MC verification cost is dominated by the constant-time SNARK
+        check; it grows only through the O(n) Merkle root over BTList."""
+        bts = tuple(
+            BackwardTransfer(receiver_addr=bytes([i % 256]) * 32, amount=i + 1)
+            for i in range(bt_count)
+        )
+        cert = make_cert(epoch=0, bts=bts)
+        total = sum(bt.amount for bt in bts)
+
+        def process():
+            cctp = CctpState()
+            cctp.register_sidechain(make_config(), height=2)
+            if total:
+                from repro.core.transfers import ForwardTransfer
+
+                cctp.process_forward_transfer(
+                    ForwardTransfer(
+                        ledger_id=cert.ledger_id, receiver_metadata=b"", amount=total
+                    ),
+                    height=6,
+                )
+            return submit_cert(cctp, cert, height=9)
+
+        benchmark(process)
+        benchmark.extra_info["bt_count"] = bt_count
+        benchmark.extra_info["proof_bytes"] = cert.proof.size_bytes
+
+    def test_quality_selection_rule(self, benchmark):
+        """Regenerates the §4.1.2 quality mechanism: among several
+        certificates for the same epoch the MC adopts the highest quality,
+        refusing non-increasing submissions."""
+
+        def run():
+            cctp = CctpState()
+            cctp.register_sidechain(make_config(), height=2)
+            outcomes = []
+            for quality, height in [(3, 9), (2, 9), (5, 10), (5, 10)]:
+                try:
+                    submit_cert(cctp, make_cert(epoch=0, quality=quality), height)
+                    outcomes.append((quality, "adopted"))
+                except Exception:
+                    outcomes.append((quality, "rejected"))
+            final = cctp.adopted_certificate(make_config().ledger_id, 0)
+            return outcomes, final.quality
+
+        outcomes, final_quality = benchmark.pedantic(run, iterations=1, rounds=1)
+        assert outcomes == [
+            (3, "adopted"),
+            (2, "rejected"),
+            (5, "adopted"),
+            (5, "rejected"),
+        ]
+        assert final_quality == 5
+        benchmark.extra_info["outcomes"] = outcomes
+        print(f"\nQ2 quality selection: {outcomes} -> adopted quality {final_quality}")
+
+    def test_bench_snark_verify_alone(self, benchmark):
+        """The constant-time core: one keyed-hash verification."""
+        from repro.snark import proving
+
+        pk, vk = proving.setup(AlwaysValid())
+        cert = make_cert(epoch=0)
+        h_prev = b"\x00" * 32
+        h_last = fake_block_hash(make_config().schedule.last_height(0))
+        public = cert.public_input(h_prev, h_last)
+        assert benchmark(proving.verify, vk, public, cert.proof)

@@ -1,0 +1,87 @@
+"""Experiment Q6 — §5.1: mainchain fork resolution propagates to the SC.
+
+Regenerates the binding property: when the MC reorgs, sidechain blocks
+referencing orphaned MC blocks are reverted and the SC deterministically
+rebuilds onto the new branch.  Measures recovery cost versus reorg depth.
+"""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.scenarios import ZendooHarness
+from tests.test_mainchain_chain import make_block
+
+
+def scenario(seed: str):
+    harness = ZendooHarness(miner_seed=f"{seed}/miner")
+    harness.mine(2)
+    sc = harness.create_sidechain(seed, epoch_len=6, submit_len=2)
+    alice = KeyPair.from_seed(f"{seed}/alice")
+    harness.forward_transfer(sc, alice, 7777)
+    harness.mine(4)
+    return harness, sc, alice
+
+
+def force_reorg(harness, depth: int, ts_base: int = 5000):
+    """Replace the last ``depth`` MC blocks with a heavier foreign fork."""
+    mc = harness.mc
+    fork_point = mc.chain.block_at_height(mc.height - depth)
+    parent = fork_point
+    for i in range(depth + 2):
+        block = make_block(parent, params=mc.params, ts=ts_base + i)
+        mc.chain.add_block(block)
+        parent = block
+    return parent
+
+
+class TestQ6ReorgPropagation:
+    def test_regenerates_fork_resolution(self, benchmark):
+        def run():
+            harness, sc, alice = scenario("q6a")
+            funded_before = harness.wallet(sc, alice).balance()
+            sc_height_before = sc.node.height
+            force_reorg(harness, depth=4)
+            sc.node.sync()
+            return (
+                funded_before,
+                harness.wallet(sc, alice).balance(),
+                sc_height_before,
+                sc.node.height,
+                sc.node.synced_mc_height == harness.mc.height,
+            )
+
+        before, after, h_before, h_after, caught_up = benchmark.pedantic(
+            run, iterations=1, rounds=1
+        )
+        assert before == 7777
+        assert after == 0  # the FT lived on the orphaned branch
+        assert caught_up
+        print(
+            f"\nQ6: reorg depth 4 -> SC rebuilt (height {h_before} -> {h_after}), "
+            f"orphaned FT reverted"
+        )
+
+    def test_ft_on_common_prefix_survives(self, benchmark):
+        def run():
+            harness, sc, alice = scenario("q6b")
+            harness.mine(2)  # bury the FT deeper than the coming reorg
+            force_reorg(harness, depth=2, ts_base=6000)
+            sc.node.sync()
+            return harness.wallet(sc, alice).balance()
+
+        balance = benchmark.pedantic(run, iterations=1, rounds=1)
+        assert balance == 7777
+        print("\nQ6: FT below the fork point survives the reorg")
+
+    @pytest.mark.parametrize("depth", [1, 3, 6])
+    def test_bench_recovery_vs_reorg_depth(self, benchmark, depth):
+        harness, sc, alice = scenario(f"q6c-{depth}")
+        harness.mine(4)
+        force_reorg(harness, depth=depth, ts_base=7000 + depth)
+
+        def recover():
+            sc.node.sync()
+
+        benchmark.pedantic(recover, iterations=1, rounds=1)
+        assert sc.node.synced_mc_height == harness.mc.height
+        benchmark.extra_info["reorg_depth"] = depth

@@ -1,0 +1,142 @@
+"""Experiment Q7 — the decoupling ablation: Latus vs. federated sidechains.
+
+The paper's core architectural bet is that the mainchain can verify *any*
+sidechain through one fixed interface.  This bench quantifies that bet:
+certificate *generation* cost differs by orders of magnitude between the
+two constructions (recursive state-transition proving vs. a signature
+quorum), while the mainchain-side *verification* cost is identical — the
+whole point of pushing work behind the SNARK interface.
+"""
+
+import pytest
+
+from repro.core.transfers import WithdrawalCertificate
+from repro.crypto.keys import KeyPair
+from repro.federated import (
+    FederatedWCertCircuit,
+    FederatedWCertWitness,
+    certificate_message,
+    collect_signatures,
+    federation_from_seeds,
+)
+from repro.snark import proving
+from benchmarks.bench_f10_recursion import payment_chain
+from repro.latus.proofs import EpochProver
+
+
+def federated_cert_material(num_bts: int = 0):
+    federation, member_keys = federation_from_seeds(["a", "b", "c", "d", "e"], 3)
+    ledger_id = b"\x07" * 32
+    message = certificate_message(ledger_id, 0, 1, (), b"\x01" * 32, 42)
+    witness = FederatedWCertWitness(
+        ledger_id=ledger_id,
+        epoch_id=0,
+        quality=1,
+        bt_list=(),
+        h_epoch_last=b"\x01" * 32,
+        state_digest=42,
+        signatures=collect_signatures(member_keys, message),
+    )
+    draft = WithdrawalCertificate(
+        ledger_id=ledger_id,
+        epoch_id=0,
+        quality=1,
+        bt_list=(),
+        proofdata=(42,),
+        proof=proving.Proof(data=bytes(proving.PROOF_SIZE)),
+    )
+    public = draft.public_input(b"\x00" * 32, b"\x01" * 32)
+    return federation, witness, public
+
+
+class TestQ7Flexibility:
+    def test_bench_latus_certificate_statement(self, benchmark):
+        """Latus: proving an 8-tx epoch transition (the WCert's backbone)."""
+        prover = EpochProver("per_transaction")
+        state, txs = payment_chain(8)
+        result = benchmark.pedantic(
+            lambda: prover.prove_epoch(state, txs), iterations=1, rounds=2
+        )
+        benchmark.extra_info["construction"] = "latus"
+        benchmark.extra_info["constraints"] = result.stats.constraints
+
+    def test_bench_federated_certificate_statement(self, benchmark):
+        """Federated: proving a 3-of-5 signature quorum."""
+        federation, witness, public = federated_cert_material()
+        pk, _ = proving.setup(FederatedWCertCircuit(federation))
+        result = benchmark.pedantic(
+            lambda: proving.prove_with_stats(pk, public, witness),
+            iterations=1,
+            rounds=3,
+        )
+        benchmark.extra_info["construction"] = "federated"
+        benchmark.extra_info["constraints"] = result.stats.num_constraints
+
+    def test_bench_mc_verification_is_identical(self, benchmark):
+        """The other side of the bet: the MC verifies both constructions'
+        proofs in the same constant time through the same code path."""
+        import time
+
+        federation, witness, public = federated_cert_material()
+        fed_pk, fed_vk = proving.setup(FederatedWCertCircuit(federation))
+        fed_proof = proving.prove(fed_pk, public, witness)
+
+        prover = EpochProver("per_transaction")
+        state, txs = payment_chain(2)
+        latus_result = prover.prove_epoch(state, txs)
+
+        def timed_verifications():
+            t0 = time.perf_counter()
+            for _ in range(200):
+                proving.verify(fed_vk, public, fed_proof)
+            fed_s = (time.perf_counter() - t0) / 200
+            t0 = time.perf_counter()
+            for _ in range(200):
+                prover.verify_epoch_proof(latus_result.proof)
+            latus_s = (time.perf_counter() - t0) / 200
+            return fed_s, latus_s
+
+        fed_s, latus_s = benchmark.pedantic(
+            timed_verifications, iterations=1, rounds=1
+        )
+        # same order of magnitude: both are one constant-size check
+        # (the latus path tries up to two keys, so allow a small factor)
+        assert latus_s < fed_s * 10 and fed_s < latus_s * 10
+        benchmark.extra_info["federated_verify_s"] = round(fed_s, 7)
+        benchmark.extra_info["latus_verify_s"] = round(latus_s, 7)
+        print(
+            f"\nQ7 MC-side verification: federated {fed_s * 1e6:.1f}µs, "
+            f"latus {latus_s * 1e6:.1f}µs — same interface, same cost"
+        )
+
+    @pytest.mark.parametrize("quorum", [(3, 5), (7, 10), (13, 20)])
+    def test_bench_federated_cost_vs_quorum(self, benchmark, quorum):
+        threshold, members = quorum
+        federation, member_keys = federation_from_seeds(
+            [f"m{i}" for i in range(members)], threshold
+        )
+        ledger_id = b"\x07" * 32
+        message = certificate_message(ledger_id, 0, 1, (), b"\x01" * 32, 42)
+        witness = FederatedWCertWitness(
+            ledger_id=ledger_id,
+            epoch_id=0,
+            quality=1,
+            bt_list=(),
+            h_epoch_last=b"\x01" * 32,
+            state_digest=42,
+            signatures=collect_signatures(member_keys, message),
+        )
+        draft = WithdrawalCertificate(
+            ledger_id=ledger_id,
+            epoch_id=0,
+            quality=1,
+            bt_list=(),
+            proofdata=(42,),
+            proof=proving.Proof(data=bytes(proving.PROOF_SIZE)),
+        )
+        public = draft.public_input(b"\x00" * 32, b"\x01" * 32)
+        pk, _ = proving.setup(FederatedWCertCircuit(federation))
+        benchmark.pedantic(
+            lambda: proving.prove(pk, public, witness), iterations=1, rounds=3
+        )
+        benchmark.extra_info["quorum"] = f"{threshold}-of-{members}"

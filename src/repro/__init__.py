@@ -1,0 +1,41 @@
+"""Zendoo - a zk-SNARK verifiable cross-chain transfer protocol.
+
+A full Python reproduction of Garoffolo, Kaidalov & Oliynykov (2020):
+the Zendoo cross-chain transfer protocol (:mod:`repro.core`), a Bitcoin-like
+mainchain substrate (:mod:`repro.mainchain`), the Latus decentralized
+sidechain (:mod:`repro.latus`), the SNARK substrate with recursive
+composition (:mod:`repro.snark`), and an end-to-end scenario harness
+(:mod:`repro.scenarios`).
+
+Quickstart::
+
+    from repro.scenarios import ZendooHarness
+    from repro.crypto import KeyPair
+
+    harness = ZendooHarness()
+    harness.mine(2)
+    sc = harness.create_sidechain("demo", epoch_len=5, submit_len=2)
+    alice = KeyPair.from_seed("alice")
+    harness.forward_transfer(sc, alice, 1_000_000)
+    harness.run_epochs(sc, 1)
+    print(harness.wallet(sc, alice).balance())
+"""
+
+__version__ = "1.0.0"
+
+from repro import core, crypto, federated, latus, mainchain, network, scenarios, snark, wire
+from repro.errors import ZendooError
+
+__all__ = [
+    "ZendooError",
+    "__version__",
+    "core",
+    "crypto",
+    "federated",
+    "latus",
+    "mainchain",
+    "network",
+    "scenarios",
+    "snark",
+    "wire",
+]

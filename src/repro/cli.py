@@ -1,0 +1,115 @@
+"""Command-line interface: run the example scenarios without touching code.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli quickstart
+    python -m repro.cli lifecycle --epochs 4 --fund 500000
+    python -m repro.cli inspect --epochs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.crypto.keys import KeyPair
+from repro.scenarios import ZendooHarness
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    from examples import quickstart  # noqa: F401  (repo layout)
+
+    quickstart.main()
+    return 0
+
+
+def _cmd_lifecycle(args: argparse.Namespace) -> int:
+    harness = ZendooHarness()
+    harness.mine(2)
+    sc = harness.create_sidechain(
+        args.seed, epoch_len=args.epoch_len, submit_len=args.submit_len
+    )
+    user = KeyPair.from_seed(f"{args.seed}/user")
+    harness.forward_transfer(sc, user, args.fund)
+    harness.run_epochs(sc, args.epochs)
+    print(f"ran {args.epochs} withdrawal epochs")
+    print(f"  sidechain balance (MC view): {harness.mc.state.cctp.balance(sc.ledger_id)}")
+    print(f"  user balance (SC view):      {harness.wallet(sc, user).balance()}")
+    print(f"  certificates adopted:        {len(sc.node.certificates)}")
+    for cert in sc.node.certificates:
+        print(
+            f"    epoch {cert.epoch_id}: quality={cert.quality}, "
+            f"bts={len(cert.bt_list)}, proof={cert.proof.size_bytes}B"
+        )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    harness = ZendooHarness()
+    harness.mine(2)
+    sc = harness.create_sidechain(args.seed, epoch_len=4, submit_len=2)
+    user = KeyPair.from_seed(f"{args.seed}/user")
+    harness.forward_transfer(sc, user, 10_000)
+    harness.run_epochs(sc, args.epochs)
+    node = sc.node
+    print(f"mainchain height: {harness.mc.height}")
+    print(f"sidechain height: {node.height} ({len(node.blocks)} blocks)")
+    print(f"MST: {node.state.mst.occupied_count} occupied slots, root {node.state.mst_root:#x}"[:90])
+    print("sidechain blocks:")
+    for block in node.blocks:
+        refs = ",".join(str(r.mc_height) for r in block.mc_refs) or "-"
+        print(
+            f"  #{block.height:<3} slot={block.slot:<3} refs=[{refs}] "
+            f"txs={len(block.transactions)}"
+        )
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("available commands: list, quickstart, lifecycle, inspect")
+    print("examples directory: quickstart.py, multi_sidechain_platform.py,")
+    print("  payment_network.py, ceased_sidechain_recovery.py,")
+    print("  certificate_latency_study.py, federated_sidechain.py,")
+    print("  decentralized_forgers.py")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Zendoo reproduction scenarios"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available scenarios").set_defaults(
+        func=_cmd_list
+    )
+    sub.add_parser("quickstart", help="run the quickstart walkthrough").set_defaults(
+        func=_cmd_quickstart
+    )
+
+    lifecycle = sub.add_parser("lifecycle", help="run N withdrawal epochs")
+    lifecycle.add_argument("--seed", default="cli-lifecycle")
+    lifecycle.add_argument("--epochs", type=int, default=2)
+    lifecycle.add_argument("--epoch-len", type=int, default=5, dest="epoch_len")
+    lifecycle.add_argument("--submit-len", type=int, default=2, dest="submit_len")
+    lifecycle.add_argument("--fund", type=int, default=100_000)
+    lifecycle.set_defaults(func=_cmd_lifecycle)
+
+    inspect = sub.add_parser("inspect", help="dump sidechain block structure")
+    inspect.add_argument("--seed", default="cli-inspect")
+    inspect.add_argument("--epochs", type=int, default=1)
+    inspect.set_defaults(func=_cmd_inspect)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

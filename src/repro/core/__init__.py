@@ -1,0 +1,56 @@
+"""Zendoo's primary contribution: the cross-chain transfer protocol (§4).
+
+Pure protocol logic and datatypes — no dependency on the mainchain
+substrate, which plugs :class:`CctpState` into its block processing.
+"""
+
+from repro.core.bootstrap import ProofdataSchema, SidechainConfig
+from repro.core.cctp import (
+    CctpState,
+    CertificateRecord,
+    SidechainEntry,
+    SidechainStatus,
+)
+from repro.core.commitment import (
+    AbsenceProof,
+    PresenceProof,
+    SidechainCommitment,
+    SidechainTxCommitmentTree,
+    build_commitment,
+)
+from repro.core.epochs import EpochSchedule
+from repro.core.safeguard import Safeguard
+from repro.core.transfers import (
+    BackwardTransfer,
+    BackwardTransferRequest,
+    CeasedSidechainWithdrawal,
+    ForwardTransfer,
+    WithdrawalCertificate,
+    bt_list_root,
+    derive_ledger_id,
+    proofdata_root,
+)
+
+__all__ = [
+    "AbsenceProof",
+    "BackwardTransfer",
+    "BackwardTransferRequest",
+    "CctpState",
+    "CeasedSidechainWithdrawal",
+    "CertificateRecord",
+    "EpochSchedule",
+    "ForwardTransfer",
+    "PresenceProof",
+    "ProofdataSchema",
+    "Safeguard",
+    "SidechainCommitment",
+    "SidechainConfig",
+    "SidechainEntry",
+    "SidechainStatus",
+    "SidechainTxCommitmentTree",
+    "WithdrawalCertificate",
+    "bt_list_root",
+    "build_commitment",
+    "derive_ledger_id",
+    "proofdata_root",
+]

@@ -1,0 +1,337 @@
+"""The mainchain-side CCTP state machine (paper §4).
+
+:class:`CctpState` is the component a mainchain node plugs into block
+processing.  It owns the sidechain registry, the withdrawal safeguard, the
+nullifier sets and the per-epoch certificate records, and implements the
+verification rules of §4.1.2:
+
+* sidechain registration (§4.2) with unique ledger ids;
+* forward transfers credit the safeguard balance (§4.1.1);
+* withdrawal certificates: submission-window rule, quality rule, SNARK
+  verification against the registered key, safeguard debit — a
+  higher-quality certificate for the same epoch *supersedes* the earlier one
+  (its payouts are cancelled and its withdrawal refunded);
+* ceasing (Def. 4.2): a sidechain with no certificate for epoch ``i`` by the
+  end of the submission window of ``i`` is ceased;
+* BTR pre-validation and CSW payouts with nullifier double-spend prevention.
+
+The state machine is apply-only; mainchain reorgs are handled by replaying
+the new active chain (see :mod:`repro.mainchain.chain`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.bootstrap import SidechainConfig
+from repro.core.safeguard import Safeguard
+from repro.core.transfers import (
+    BackwardTransferRequest,
+    CeasedSidechainWithdrawal,
+    ForwardTransfer,
+    WithdrawalCertificate,
+)
+from repro.errors import (
+    CertificateRejected,
+    CctpError,
+    NullifierReused,
+    SidechainActive,
+    SidechainAlreadyExists,
+    SidechainCeased,
+    UnknownSidechain,
+)
+from repro.snark import proving
+
+
+class SidechainStatus(enum.Enum):
+    """Lifecycle of a registered sidechain as seen by the mainchain."""
+
+    ACTIVE = "active"
+    CEASED = "ceased"
+
+
+@dataclass
+class CertificateRecord:
+    """The adopted certificate for one (sidechain, epoch)."""
+
+    certificate: WithdrawalCertificate
+    included_at_height: int
+    included_in_block: bytes
+
+
+@dataclass
+class SidechainEntry:
+    """Mutable mainchain-side record of one sidechain."""
+
+    config: SidechainConfig
+    status: SidechainStatus = SidechainStatus.ACTIVE
+    ceased_at_height: int | None = None
+    certificates: dict[int, CertificateRecord] = field(default_factory=dict)
+    nullifiers: set[bytes] = field(default_factory=set)
+    #: Hash of the MC block containing the most recent adopted certificate —
+    #: the ``H(Bw)`` anchoring BTR/CSW sysdata (Def. 4.5).
+    last_cert_block_hash: bytes = b"\x00" * 32
+
+    @property
+    def last_certified_epoch(self) -> int | None:
+        """Highest epoch with an adopted certificate, if any."""
+        return max(self.certificates) if self.certificates else None
+
+    def copy(self) -> "SidechainEntry":
+        """Independent snapshot (configs and records are immutable values)."""
+        return SidechainEntry(
+            config=self.config,
+            status=self.status,
+            ceased_at_height=self.ceased_at_height,
+            certificates=dict(self.certificates),
+            nullifiers=set(self.nullifiers),
+            last_cert_block_hash=self.last_cert_block_hash,
+        )
+
+
+class CctpState:
+    """All CCTP state of one mainchain node (registry + safeguard + records).
+
+    The host chain calls the ``process_*`` methods while connecting a block
+    and :meth:`advance_to_height` once per new block height so ceasing
+    deadlines fire deterministically.
+    """
+
+    def __init__(self) -> None:
+        self.sidechains: dict[bytes, SidechainEntry] = {}
+        self.safeguard = Safeguard()
+
+    def copy(self) -> "CctpState":
+        """Independent snapshot for fork-branch validation."""
+        clone = CctpState()
+        clone.sidechains = {k: v.copy() for k, v in self.sidechains.items()}
+        clone.safeguard = self.safeguard.copy()
+        return clone
+
+    # -- registry ---------------------------------------------------------------
+
+    def register_sidechain(self, config: SidechainConfig, height: int) -> None:
+        """Create a sidechain (§4.2); ledger ids are first-come unique."""
+        if config.ledger_id in self.sidechains:
+            raise SidechainAlreadyExists(
+                f"ledger id {config.ledger_id.hex()[:16]} already registered"
+            )
+        if config.start_block <= height:
+            raise CctpError(
+                "sidechain start_block must be strictly after the declaring block"
+            )
+        self.sidechains[config.ledger_id] = SidechainEntry(config=config)
+        self.safeguard.open(config.ledger_id)
+
+    def entry(self, ledger_id: bytes) -> SidechainEntry:
+        """The registry entry, raising :class:`UnknownSidechain` when absent."""
+        try:
+            return self.sidechains[ledger_id]
+        except KeyError:
+            raise UnknownSidechain(f"unknown ledger id {ledger_id.hex()[:16]}")
+
+    def balance(self, ledger_id: bytes) -> int:
+        """The safeguard balance of a sidechain."""
+        self.entry(ledger_id)
+        return self.safeguard.balance(ledger_id)
+
+    def is_active(self, ledger_id: bytes, height: int) -> bool:
+        """True when the sidechain exists, has started and has not ceased."""
+        entry = self.sidechains.get(ledger_id)
+        if entry is None or entry.status is SidechainStatus.CEASED:
+            return False
+        return entry.config.schedule.is_active_at(height)
+
+    # -- forward transfers --------------------------------------------------------
+
+    def process_forward_transfer(self, ft: ForwardTransfer, height: int) -> None:
+        """Credit a forward transfer to an active sidechain (§4.1.1).
+
+        Def. 4.1 requires "a previously created and active sidechain": a
+        transfer before the sidechain's ``start_block`` is rejected — the
+        sidechain has no schedule yet and could never observe the deposit.
+        """
+        entry = self.entry(ft.ledger_id)
+        if entry.status is SidechainStatus.CEASED:
+            raise SidechainCeased("forward transfer to a ceased sidechain")
+        if not entry.config.schedule.is_active_at(height):
+            raise CctpError(
+                f"forward transfer at height {height} precedes sidechain "
+                f"activation at {entry.config.start_block}"
+            )
+        if ft.amount <= 0:
+            raise CctpError("forward transfer amount must be positive")
+        self.safeguard.deposit(ft.ledger_id, ft.amount)
+
+    # -- withdrawal certificates -----------------------------------------------------
+
+    def process_certificate(
+        self,
+        wcert: WithdrawalCertificate,
+        height: int,
+        included_in_block: bytes,
+        block_hash_at: Callable[[int], bytes],
+    ) -> WithdrawalCertificate | None:
+        """Validate and adopt a withdrawal certificate (§4.1.2's rule list).
+
+        ``block_hash_at(height)`` must return the active-chain block hash —
+        used to build ``wcert_sysdata``.  Returns the superseded certificate
+        of the same epoch when the new one replaces it (the host chain then
+        cancels the superseded payouts), else None.
+
+        Raises :class:`CertificateRejected` on any rule violation.
+        """
+        entry = self.entry(wcert.ledger_id)
+        schedule = entry.config.schedule
+
+        # Rule 1: active sidechain.
+        if entry.status is SidechainStatus.CEASED:
+            raise CertificateRejected("certificate for a ceased sidechain")
+
+        # Rule 2: correct submission window.
+        if not schedule.in_submission_window(wcert.epoch_id, height):
+            raise CertificateRejected(
+                f"certificate for epoch {wcert.epoch_id} outside its submission "
+                f"window at height {height}"
+            )
+
+        # Rule 3: strictly increasing quality within the epoch.
+        previous = entry.certificates.get(wcert.epoch_id)
+        if previous is not None and wcert.quality <= previous.certificate.quality:
+            raise CertificateRejected(
+                f"quality {wcert.quality} does not exceed adopted quality "
+                f"{previous.certificate.quality}"
+            )
+
+        # Proofdata arity must match the registered schema.
+        if not entry.config.wcert_proofdata.matches(wcert.proofdata):
+            raise CertificateRejected("proofdata does not match declared schema")
+
+        # Rule 4: the SNARK proof verifies under the registered key against
+        # the mainchain-enforced sysdata.
+        h_prev = (
+            block_hash_at(schedule.last_height(wcert.epoch_id - 1))
+            if wcert.epoch_id > 0
+            else b"\x00" * 32
+        )
+        h_last = block_hash_at(schedule.last_height(wcert.epoch_id))
+        public_input = wcert.public_input(h_prev, h_last)
+        if not proving.verify(entry.config.wcert_vk, public_input, wcert.proof):
+            raise CertificateRejected("SNARK proof verification failed")
+
+        # Safeguard: refund a superseded certificate before debiting.
+        superseded = previous.certificate if previous is not None else None
+        if superseded is not None:
+            self.safeguard.refund(wcert.ledger_id, superseded.withdrawn_amount)
+        try:
+            self.safeguard.withdraw(wcert.ledger_id, wcert.withdrawn_amount)
+        except Exception:
+            if superseded is not None:
+                self.safeguard.withdraw(
+                    wcert.ledger_id, superseded.withdrawn_amount
+                )
+            raise
+
+        entry.certificates[wcert.epoch_id] = CertificateRecord(
+            certificate=wcert,
+            included_at_height=height,
+            included_in_block=included_in_block,
+        )
+        entry.last_cert_block_hash = included_in_block
+        return superseded
+
+    # -- ceasing -------------------------------------------------------------------
+
+    def advance_to_height(self, height: int) -> list[bytes]:
+        """Fire ceasing deadlines up to ``height``; returns newly ceased ids.
+
+        A sidechain ceases at the first height past the submission window of
+        the earliest epoch it failed to certify (Def. 4.2).
+        """
+        newly_ceased = []
+        for ledger_id, entry in self.sidechains.items():
+            if entry.status is SidechainStatus.CEASED:
+                continue
+            schedule = entry.config.schedule
+            if height < schedule.start_block:
+                continue
+            due = self._earliest_uncertified_epoch(entry)
+            deadline = schedule.ceasing_height(due)
+            if height >= deadline:
+                entry.status = SidechainStatus.CEASED
+                entry.ceased_at_height = deadline
+                newly_ceased.append(ledger_id)
+        return newly_ceased
+
+    @staticmethod
+    def _earliest_uncertified_epoch(entry: SidechainEntry) -> int:
+        epoch = 0
+        while epoch in entry.certificates:
+            epoch += 1
+        return epoch
+
+    # -- mainchain-managed withdrawals ---------------------------------------------
+
+    def process_btr(self, btr: BackwardTransferRequest, height: int) -> None:
+        """Pre-validate a BTR (§4.1.2.1); no coins move on the mainchain."""
+        entry = self.entry(btr.ledger_id)
+        if entry.status is SidechainStatus.CEASED:
+            raise SidechainCeased("BTR for a ceased sidechain")
+        if entry.config.btr_vk is None:
+            raise CctpError("sidechain did not register a BTR verification key")
+        if not entry.config.btr_proofdata.matches(btr.proofdata):
+            raise CctpError("BTR proofdata does not match declared schema")
+        if btr.amount <= 0:
+            raise CctpError("BTR amount must be positive")
+        self._consume_nullifier(entry, btr.nullifier)
+        public_input = btr.public_input(entry.last_cert_block_hash)
+        try:
+            proving.expect_valid(entry.config.btr_vk, public_input, btr.proof)
+        except Exception:
+            entry.nullifiers.discard(btr.nullifier)
+            raise
+
+    def process_csw(
+        self, csw: CeasedSidechainWithdrawal, height: int
+    ) -> tuple[bytes, int]:
+        """Validate a CSW; returns ``(receiver, amount)`` for direct payout."""
+        entry = self.entry(csw.ledger_id)
+        if entry.status is not SidechainStatus.CEASED:
+            raise SidechainActive("CSW is only valid for a ceased sidechain")
+        if entry.config.csw_vk is None:
+            raise CctpError("sidechain did not register a CSW verification key")
+        if not entry.config.csw_proofdata.matches(csw.proofdata):
+            raise CctpError("CSW proofdata does not match declared schema")
+        if csw.amount <= 0:
+            raise CctpError("CSW amount must be positive")
+        self._consume_nullifier(entry, csw.nullifier)
+        public_input = csw.public_input(entry.last_cert_block_hash)
+        try:
+            proving.expect_valid(entry.config.csw_vk, public_input, csw.proof)
+            self.safeguard.withdraw(csw.ledger_id, csw.amount)
+        except Exception:
+            entry.nullifiers.discard(csw.nullifier)
+            raise
+        return csw.receiver, csw.amount
+
+    def _consume_nullifier(self, entry: SidechainEntry, nullifier: bytes) -> None:
+        if nullifier in entry.nullifiers:
+            raise NullifierReused(
+                f"nullifier {nullifier.hex()[:16]} already consumed"
+            )
+        entry.nullifiers.add(nullifier)
+
+    # -- introspection -----------------------------------------------------------
+
+    def adopted_certificate(
+        self, ledger_id: bytes, epoch: int
+    ) -> WithdrawalCertificate | None:
+        """The currently adopted certificate for an epoch, if any."""
+        record = self.entry(ledger_id).certificates.get(epoch)
+        return record.certificate if record else None
+
+    def status(self, ledger_id: bytes) -> SidechainStatus:
+        """Lifecycle status of a sidechain."""
+        return self.entry(ledger_id).status

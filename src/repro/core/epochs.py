@@ -1,0 +1,92 @@
+"""Withdrawal-epoch arithmetic (paper §4.1.2, Fig. 3).
+
+A sidechain's withdrawal epochs are a fixed-length partition of mainchain
+block heights starting at the sidechain's ``start_block``.  The certificate
+for epoch ``i`` must land within the first ``submit_len`` blocks of epoch
+``i + 1``; missing that window makes the sidechain *ceased* (Def. 4.2).
+
+All functions operate on mainchain block heights.  Epochs for different
+sidechains need not be aligned — each sidechain carries its own schedule
+(the "entire system runs asynchronously" property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CctpError
+
+
+@dataclass(frozen=True)
+class EpochSchedule:
+    """The deterministic withdrawal-epoch schedule of one sidechain."""
+
+    start_block: int
+    epoch_len: int
+    submit_len: int
+
+    def __post_init__(self) -> None:
+        if self.epoch_len < 1:
+            raise CctpError("epoch_len must be >= 1")
+        if not 1 <= self.submit_len <= self.epoch_len:
+            raise CctpError("submit_len must be in [1, epoch_len]")
+        if self.start_block < 0:
+            raise CctpError("start_block must be >= 0")
+
+    # -- epoch <-> height -----------------------------------------------------
+
+    def epoch_of_height(self, height: int) -> int:
+        """The withdrawal epoch containing mainchain block ``height``."""
+        if height < self.start_block:
+            raise CctpError(
+                f"height {height} precedes sidechain activation at {self.start_block}"
+            )
+        return (height - self.start_block) // self.epoch_len
+
+    def first_height(self, epoch: int) -> int:
+        """Height of block ``B^epoch_0``."""
+        if epoch < 0:
+            raise CctpError("epoch must be >= 0")
+        return self.start_block + epoch * self.epoch_len
+
+    def last_height(self, epoch: int) -> int:
+        """Height of block ``B^epoch_{len-1}``."""
+        return self.first_height(epoch) + self.epoch_len - 1
+
+    def index_within_epoch(self, height: int) -> int:
+        """The ``j`` in the paper's ``B^i_j`` notation."""
+        return (height - self.start_block) % self.epoch_len
+
+    # -- submission window -------------------------------------------------------
+
+    def submission_window(self, epoch: int) -> range:
+        """Heights at which a certificate for ``epoch`` is accepted.
+
+        The first ``submit_len`` blocks of epoch ``epoch + 1``.
+        """
+        first = self.first_height(epoch + 1)
+        return range(first, first + self.submit_len)
+
+    def in_submission_window(self, epoch: int, height: int) -> bool:
+        """True when a certificate for ``epoch`` may be included at ``height``."""
+        return height in self.submission_window(epoch)
+
+    def submittable_epoch(self, height: int) -> int | None:
+        """Which epoch's certificate is accepted at ``height``, if any."""
+        if height < self.start_block + self.epoch_len:
+            return None  # no completed epoch yet
+        epoch = self.epoch_of_height(height)
+        if self.index_within_epoch(height) < self.submit_len:
+            return epoch - 1
+        return None
+
+    def ceasing_height(self, epoch: int) -> int:
+        """First height at which a missing certificate for ``epoch`` ceases the SC.
+
+        Equal to the first height *after* the submission window of ``epoch``.
+        """
+        return self.first_height(epoch + 1) + self.submit_len
+
+    def is_active_at(self, height: int) -> bool:
+        """True when the sidechain is past activation at ``height``."""
+        return height >= self.start_block

@@ -1,0 +1,65 @@
+"""The withdrawal safeguard (paper §4.1.2.2).
+
+For each sidechain the mainchain maintains a balance: forward transfers
+credit it, withdrawal certificates and ceased-sidechain withdrawals debit
+it, and no debit may exceed the balance.  "Even in the case of total
+corruption or a maliciously constructed sidechain, an adversary cannot mint
+coins out of thin air."
+"""
+
+from __future__ import annotations
+
+from repro.errors import SafeguardViolation, UnknownSidechain
+
+
+class Safeguard:
+    """Per-sidechain balance bookkeeping with the invariant ``balance >= 0``."""
+
+    def __init__(self) -> None:
+        self._balances: dict[bytes, int] = {}
+
+    def open(self, ledger_id: bytes) -> None:
+        """Start tracking a newly created sidechain at balance zero."""
+        self._balances.setdefault(ledger_id, 0)
+
+    def balance(self, ledger_id: bytes) -> int:
+        """Current balance of a sidechain."""
+        try:
+            return self._balances[ledger_id]
+        except KeyError:
+            raise UnknownSidechain(f"no safeguard entry for {ledger_id.hex()[:16]}")
+
+    def deposit(self, ledger_id: bytes, amount: int) -> None:
+        """Credit a forward transfer."""
+        if amount < 0:
+            raise SafeguardViolation("deposit amount must be non-negative")
+        self._balances[self._known(ledger_id)] += amount
+
+    def withdraw(self, ledger_id: bytes, amount: int) -> None:
+        """Debit a certificate payout or CSW; raises when over-drawing."""
+        if amount < 0:
+            raise SafeguardViolation("withdrawal amount must be non-negative")
+        key = self._known(ledger_id)
+        if amount > self._balances[key]:
+            raise SafeguardViolation(
+                f"withdrawal of {amount} exceeds sidechain balance "
+                f"{self._balances[key]}"
+            )
+        self._balances[key] -= amount
+
+    def refund(self, ledger_id: bytes, amount: int) -> None:
+        """Re-credit a superseded certificate's withdrawal."""
+        if amount < 0:
+            raise SafeguardViolation("refund amount must be non-negative")
+        self._balances[self._known(ledger_id)] += amount
+
+    def _known(self, ledger_id: bytes) -> bytes:
+        if ledger_id not in self._balances:
+            raise UnknownSidechain(f"no safeguard entry for {ledger_id.hex()[:16]}")
+        return ledger_id
+
+    def copy(self) -> "Safeguard":
+        """Independent snapshot (used when forking validation contexts)."""
+        clone = Safeguard()
+        clone._balances = dict(self._balances)
+        return clone

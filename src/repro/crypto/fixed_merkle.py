@@ -1,0 +1,187 @@
+"""Fixed-depth Merkle trees over field elements (the MST substrate).
+
+The Latus Merkle State Tree (paper §5.2, Fig. 9) is a *fixed-size* binary
+tree of depth ``D`` whose ``2**D`` leaves are UTXO slots, each either
+occupied (the MiMC hash of the UTXO) or empty (``EMPTY_LEAF``).  Because the
+tree must be provable inside SNARK circuits, interior nodes use the
+MiMC compression function rather than blake2b.
+
+The implementation stores only occupied nodes in a dict keyed by
+``(level, index)`` and precomputes the hash of the all-empty subtree at each
+level, so a tree of depth 30 with a handful of UTXOs costs O(occupied * D)
+memory, and single-leaf updates cost O(D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.crypto.mimc import mimc_compress
+from repro.errors import MerkleError
+
+#: Sentinel field value of an empty leaf slot (the paper's ``H(Null)``).
+EMPTY_LEAF: int = 0
+
+
+@lru_cache(maxsize=None)
+def empty_root(depth: int) -> int:
+    """Hash of the all-empty subtree of ``depth`` levels above the leaves."""
+    if depth < 0:
+        raise MerkleError("depth must be non-negative")
+    if depth == 0:
+        return EMPTY_LEAF
+    child = empty_root(depth - 1)
+    return mimc_compress(child, child)
+
+
+@dataclass(frozen=True)
+class FieldMerkleProof:
+    """Membership proof in a fixed-depth field-element tree.
+
+    ``siblings[0]`` is the sibling at the leaf level.  The position encodes
+    the path: bit ``i`` of ``position`` is 1 when the node is a right child
+    at level ``i``.
+    """
+
+    leaf: int
+    position: int
+    siblings: tuple[int, ...]
+
+    @property
+    def depth(self) -> int:
+        return len(self.siblings)
+
+    def compute_root(self) -> int:
+        """Recompute the root committed to by this proof."""
+        node = self.leaf
+        index = self.position
+        for sibling in self.siblings:
+            if index & 1:
+                node = mimc_compress(sibling, node)
+            else:
+                node = mimc_compress(node, sibling)
+            index >>= 1
+        return node
+
+    def verify(self, root: int) -> bool:
+        """Return True iff the proof opens to ``root``."""
+        return self.compute_root() == root
+
+
+class FixedMerkleTree:
+    """A sparse fixed-depth Merkle tree over field elements.
+
+    Leaves are addressed by position in ``[0, 2**depth)``.  Unset leaves hold
+    :data:`EMPTY_LEAF`.  The tree supports point reads/writes, proofs, and a
+    cheap ``copy`` for state snapshotting.
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise MerkleError("tree depth must be >= 1")
+        if depth > 63:
+            raise MerkleError("tree depth > 63 is not supported")
+        self.depth = depth
+        self.capacity = 1 << depth
+        # nodes[(level, index)] -> value; level 0 = leaves, level depth = root
+        self._nodes: dict[tuple[int, int], int] = {}
+
+    # -- reads --------------------------------------------------------------
+
+    def _node(self, level: int, index: int) -> int:
+        return self._nodes.get((level, index), empty_root(level))
+
+    @property
+    def root(self) -> int:
+        """The current root hash (the paper's ``mst`` value)."""
+        return self._node(self.depth, 0)
+
+    def get_leaf(self, position: int) -> int:
+        """Return the leaf value at ``position`` (EMPTY_LEAF when unset)."""
+        self._check_position(position)
+        return self._node(0, position)
+
+    def is_occupied(self, position: int) -> bool:
+        """True when the slot at ``position`` holds a non-empty value."""
+        return self.get_leaf(position) != EMPTY_LEAF
+
+    @property
+    def occupied_count(self) -> int:
+        """Number of non-empty leaf slots."""
+        return sum(1 for (level, _), v in self._nodes.items() if level == 0 and v != EMPTY_LEAF)
+
+    def occupied_positions(self) -> list[int]:
+        """Sorted positions of non-empty leaves."""
+        return sorted(
+            idx for (level, idx), v in self._nodes.items() if level == 0 and v != EMPTY_LEAF
+        )
+
+    # -- writes --------------------------------------------------------------
+
+    def set_leaf(self, position: int, value: int) -> None:
+        """Write ``value`` into the slot at ``position`` and rehash the path.
+
+        Writing :data:`EMPTY_LEAF` clears the slot.
+        """
+        self._check_position(position)
+        index = position
+        self._store(0, index, value)
+        node = value
+        for level in range(1, self.depth + 1):
+            sibling = self._node(level - 1, index ^ 1)
+            if index & 1:
+                node = mimc_compress(sibling, node)
+            else:
+                node = mimc_compress(node, sibling)
+            index >>= 1
+            self._store(level, index, node)
+
+    def clear_leaf(self, position: int) -> None:
+        """Reset the slot at ``position`` to empty."""
+        self.set_leaf(position, EMPTY_LEAF)
+
+    def _store(self, level: int, index: int, value: int) -> None:
+        if value == empty_root(level):
+            self._nodes.pop((level, index), None)
+        else:
+            self._nodes[(level, index)] = value
+
+    # -- proofs --------------------------------------------------------------
+
+    def prove(self, position: int) -> FieldMerkleProof:
+        """Produce a membership (or non-membership, if empty) proof."""
+        self._check_position(position)
+        siblings = []
+        index = position
+        for level in range(self.depth):
+            siblings.append(self._node(level, index ^ 1))
+            index >>= 1
+        return FieldMerkleProof(
+            leaf=self.get_leaf(position), position=position, siblings=tuple(siblings)
+        )
+
+    # -- misc ----------------------------------------------------------------
+
+    def copy(self) -> "FixedMerkleTree":
+        """An independent snapshot of the tree (O(occupied nodes))."""
+        clone = FixedMerkleTree(self.depth)
+        clone._nodes = dict(self._nodes)
+        return clone
+
+    def _check_position(self, position: int) -> None:
+        if not 0 <= position < self.capacity:
+            raise MerkleError(
+                f"position {position} out of range for depth-{self.depth} tree"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FixedMerkleTree):
+            return NotImplemented
+        return self.depth == other.depth and self.root == other.root
+
+    def __repr__(self) -> str:
+        return (
+            f"FixedMerkleTree(depth={self.depth}, occupied={self.occupied_count}, "
+            f"root={self.root:#x})"
+        )

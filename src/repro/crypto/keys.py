@@ -1,0 +1,50 @@
+"""Key pairs and addresses.
+
+An *address* — as used by both mainchain UTXOs and Latus UTXOs — is the
+32-byte hash of a Schnorr public key.  A :class:`KeyPair` bundles the two key
+halves with the derived address and offers convenience signing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.hashing import hash_bytes
+from repro.crypto.signatures import PrivateKey, PublicKey, Signature
+
+_ADDRESS_DOMAIN = b"zendoo/address"
+
+
+def address_of(public_key: PublicKey) -> bytes:
+    """Derive the 32-byte address of a public key."""
+    return hash_bytes(public_key.to_bytes(), _ADDRESS_DOMAIN)
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A Schnorr key pair with its derived address."""
+
+    private: PrivateKey
+    public: PublicKey
+    address: bytes = field(repr=False)
+
+    @classmethod
+    def from_seed(cls, seed: bytes | str) -> "KeyPair":
+        """Derive a key pair deterministically from a seed.
+
+        Deterministic derivation keeps tests, examples and benchmarks fully
+        reproducible without any global randomness.
+        """
+        if isinstance(seed, str):
+            seed = seed.encode()
+        private = PrivateKey.from_seed(seed)
+        public = private.public_key()
+        return cls(private=private, public=public, address=address_of(public))
+
+    def sign(self, message: bytes) -> Signature:
+        """Sign ``message`` with the private half."""
+        return self.private.sign(message)
+
+    def verify(self, message: bytes, signature: Signature) -> bool:
+        """Verify ``signature`` on ``message`` with the public half."""
+        return self.public.verify(message, signature)

@@ -1,0 +1,171 @@
+"""Canonical byte encoding used for hashing protocol objects.
+
+Every hashable object in the library (transactions, block headers,
+certificates) serializes through these helpers so ids are deterministic and
+encodings are injective (all variable-length fields are length-prefixed).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class Encoder:
+    """Accumulates a canonical byte string."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def u8(self, value: int) -> "Encoder":
+        self._parts.append(value.to_bytes(1, "little"))
+        return self
+
+    def u32(self, value: int) -> "Encoder":
+        self._parts.append(value.to_bytes(4, "little"))
+        return self
+
+    def u64(self, value: int) -> "Encoder":
+        self._parts.append(value.to_bytes(8, "little"))
+        return self
+
+    def i64(self, value: int) -> "Encoder":
+        self._parts.append(value.to_bytes(8, "little", signed=True))
+        return self
+
+    def field_element(self, value: int) -> "Encoder":
+        """A 32-byte little-endian field element."""
+        self._parts.append(value.to_bytes(32, "little"))
+        return self
+
+    def raw(self, data: bytes) -> "Encoder":
+        """Fixed-size bytes whose length is known from context."""
+        self._parts.append(data)
+        return self
+
+    def var_bytes(self, data: bytes) -> "Encoder":
+        """Length-prefixed variable-size bytes."""
+        self._parts.append(len(data).to_bytes(4, "little"))
+        self._parts.append(data)
+        return self
+
+    def text(self, value: str) -> "Encoder":
+        return self.var_bytes(value.encode())
+
+    def boolean(self, value: bool) -> "Encoder":
+        return self.u8(1 if value else 0)
+
+    def sequence(self, items: Sequence[T], encode_item: Callable[["Encoder", T], object]) -> "Encoder":
+        """Length-prefixed sequence encoded by ``encode_item``."""
+        self.u32(len(items))
+        for item in items:
+            encode_item(self, item)
+        return self
+
+    def optional(self, item: T | None, encode_item: Callable[["Encoder", T], object]) -> "Encoder":
+        """A presence byte followed by the item when present."""
+        if item is None:
+            return self.u8(0)
+        self.u8(1)
+        encode_item(self, item)
+        return self
+
+    def done(self) -> bytes:
+        """The accumulated canonical byte string."""
+        return b"".join(self._parts)
+
+
+class Decoder:
+    """Consumes a canonical byte string produced by :class:`Encoder`.
+
+    Every read validates bounds; :meth:`done` asserts full consumption so
+    trailing garbage is always detected.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def _take(self, size: int) -> bytes:
+        from repro.errors import DecodeError
+
+        if size < 0 or self._pos + size > len(self._data):
+            raise DecodeError(
+                f"truncated input: need {size} bytes at offset {self._pos}, "
+                f"have {len(self._data) - self._pos}"
+            )
+        chunk = self._data[self._pos : self._pos + size]
+        self._pos += size
+        return chunk
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u32(self) -> int:
+        return int.from_bytes(self._take(4), "little")
+
+    def u64(self) -> int:
+        return int.from_bytes(self._take(8), "little")
+
+    def i64(self) -> int:
+        return int.from_bytes(self._take(8), "little", signed=True)
+
+    def field_element(self) -> int:
+        return int.from_bytes(self._take(32), "little")
+
+    def raw(self, size: int) -> bytes:
+        return self._take(size)
+
+    def var_bytes(self) -> bytes:
+        return self._take(self.u32())
+
+    def text(self) -> str:
+        from repro.errors import DecodeError
+
+        try:
+            return self.var_bytes().decode()
+        except UnicodeDecodeError as exc:
+            raise DecodeError(f"invalid utf-8 text: {exc}")
+
+    def boolean(self) -> bool:
+        from repro.errors import DecodeError
+
+        value = self.u8()
+        if value not in (0, 1):
+            raise DecodeError(f"invalid boolean byte {value}")
+        return value == 1
+
+    def sequence(self, decode_item: Callable[["Decoder"], T]) -> list[T]:
+        count = self.u32()
+        return [decode_item(self) for _ in range(count)]
+
+    def optional(self, decode_item: Callable[["Decoder"], T]) -> T | None:
+        if self.boolean():
+            return decode_item(self)
+        return None
+
+    @property
+    def remaining(self) -> int:
+        """Unconsumed byte count."""
+        return len(self._data) - self._pos
+
+    def done(self) -> None:
+        """Assert the input was fully consumed."""
+        from repro.errors import DecodeError
+
+        if self.remaining:
+            raise DecodeError(f"{self.remaining} trailing bytes after decode")
+
+
+def encode_parts(*parts: bytes) -> bytes:
+    """Length-prefix and join byte strings (injective concatenation)."""
+    enc = Encoder()
+    for part in parts:
+        enc.var_bytes(part)
+    return enc.done()
+
+
+def concat_all(parts: Iterable[bytes]) -> bytes:
+    """Plain concatenation for fixed-size parts."""
+    return b"".join(parts)

@@ -1,0 +1,49 @@
+"""A federated (non-blockchain) sidechain on the same CCTP.
+
+Demonstrates the paper's decoupling claim: the mainchain verifies this
+sidechain's certificates through exactly the same interface as Latus's,
+yet the statement behind them is a ``t``-of-``n`` federation quorum over an
+account ledger instead of a recursive state-transition proof.
+"""
+
+from repro.federated.circuits import (
+    Federation,
+    FederatedCswCircuit,
+    FederatedCswWitness,
+    FederatedWCertCircuit,
+    FederatedWCertWitness,
+    certificate_message,
+    collect_signatures,
+    exit_message,
+)
+from repro.federated.ledger import (
+    AccountLedger,
+    AccountTransfer,
+    WithdrawalRequest,
+    sign_transfer,
+    sign_withdrawal_request,
+)
+from repro.federated.node import (
+    FederatedNode,
+    federated_sidechain_config,
+    federation_from_seeds,
+)
+
+__all__ = [
+    "AccountLedger",
+    "AccountTransfer",
+    "FederatedCswCircuit",
+    "FederatedCswWitness",
+    "FederatedNode",
+    "FederatedWCertCircuit",
+    "FederatedWCertWitness",
+    "Federation",
+    "WithdrawalRequest",
+    "certificate_message",
+    "collect_signatures",
+    "exit_message",
+    "federated_sidechain_config",
+    "federation_from_seeds",
+    "sign_transfer",
+    "sign_withdrawal_request",
+]

@@ -1,0 +1,250 @@
+"""An account-based ledger for the federated sidechain.
+
+The paper stresses that "the sidechain may not even be a blockchain but can
+be any system that uses the standardized method to communicate with the
+mainchain" (§1).  This ledger is exactly that: a replicated account
+database with no blocks, no consensus and no UTXOs — transfers apply the
+moment the federation accepts them.  Only the CCTP surface (deposits from
+forward transfers, a withdrawal queue drained by certificates, a state
+digest the certificates commit to) matches Latus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.core.transfers import BackwardTransfer
+from repro.crypto.field import element_from_bytes
+from repro.crypto.hashing import hash_bytes
+from repro.crypto.keys import KeyPair, address_of
+from repro.crypto.mimc import mimc_hash
+from repro.crypto.signatures import PublicKey, Signature
+from repro.encoding import Encoder
+from repro.errors import StateTransitionError
+
+
+@dataclass(frozen=True)
+class AccountTransfer:
+    """A signed account-to-account transfer.
+
+    ``sequence`` is the sender's strictly-increasing transfer counter —
+    the replay protection an account model needs instead of UTXO spending.
+    """
+
+    sender_pubkey: PublicKey
+    receiver: bytes
+    amount: int
+    sequence: int
+    signature: Signature
+
+    @property
+    def sender(self) -> bytes:
+        """The sender's address."""
+        return address_of(self.sender_pubkey)
+
+    def signed_payload(self) -> bytes:
+        """The byte string the signature covers."""
+        return (
+            Encoder()
+            .var_bytes(self.sender_pubkey.to_bytes())
+            .var_bytes(self.receiver)
+            .u64(self.amount)
+            .u64(self.sequence)
+            .done()
+        )
+
+    @cached_property
+    def txid(self) -> bytes:
+        """The transfer id."""
+        return hash_bytes(self.signed_payload(), b"federated/transfer")
+
+    def verify_signature(self) -> bool:
+        """True when the sender authorized this transfer."""
+        return self.sender_pubkey.verify(
+            hash_bytes(self.signed_payload(), b"federated/transfer-sig"),
+            self.signature,
+        )
+
+
+def sign_transfer(
+    sender: KeyPair, receiver: bytes, amount: int, sequence: int
+) -> AccountTransfer:
+    """Build and sign an :class:`AccountTransfer`."""
+    draft = AccountTransfer(
+        sender_pubkey=sender.public,
+        receiver=receiver,
+        amount=amount,
+        sequence=sequence,
+        signature=Signature(e=1, s=1),
+    )
+    signature = sender.sign(
+        hash_bytes(draft.signed_payload(), b"federated/transfer-sig")
+    )
+    return AccountTransfer(
+        sender_pubkey=sender.public,
+        receiver=receiver,
+        amount=amount,
+        sequence=sequence,
+        signature=signature,
+    )
+
+
+@dataclass(frozen=True)
+class WithdrawalRequest:
+    """A signed request to move coins back to the mainchain."""
+
+    sender_pubkey: PublicKey
+    mc_receiver: bytes
+    amount: int
+    sequence: int
+    signature: Signature
+
+    @property
+    def sender(self) -> bytes:
+        return address_of(self.sender_pubkey)
+
+    def signed_payload(self) -> bytes:
+        return (
+            Encoder()
+            .var_bytes(self.sender_pubkey.to_bytes())
+            .var_bytes(self.mc_receiver)
+            .u64(self.amount)
+            .u64(self.sequence)
+            .done()
+        )
+
+    def verify_signature(self) -> bool:
+        return self.sender_pubkey.verify(
+            hash_bytes(self.signed_payload(), b"federated/withdraw-sig"),
+            self.signature,
+        )
+
+
+def sign_withdrawal_request(
+    sender: KeyPair, mc_receiver: bytes, amount: int, sequence: int
+) -> WithdrawalRequest:
+    """Build and sign a :class:`WithdrawalRequest`."""
+    draft = WithdrawalRequest(
+        sender_pubkey=sender.public,
+        mc_receiver=mc_receiver,
+        amount=amount,
+        sequence=sequence,
+        signature=Signature(e=1, s=1),
+    )
+    signature = sender.sign(
+        hash_bytes(draft.signed_payload(), b"federated/withdraw-sig")
+    )
+    return WithdrawalRequest(
+        sender_pubkey=sender.public,
+        mc_receiver=draft.mc_receiver,
+        amount=draft.amount,
+        sequence=draft.sequence,
+        signature=signature,
+    )
+
+
+class AccountLedger:
+    """Balances plus per-account sequence numbers and a withdrawal queue."""
+
+    def __init__(self) -> None:
+        self._balances: dict[bytes, int] = {}
+        self._sequences: dict[bytes, int] = {}
+        self.pending_withdrawals: list[BackwardTransfer] = []
+        self.operations_applied = 0
+
+    # -- queries -----------------------------------------------------------------
+
+    def balance_of(self, addr: bytes) -> int:
+        """Current balance of an account (0 when absent)."""
+        return self._balances.get(addr, 0)
+
+    def sequence_of(self, addr: bytes) -> int:
+        """Next expected sequence number for an account."""
+        return self._sequences.get(addr, 0)
+
+    def total_supply(self) -> int:
+        """Sum of all balances."""
+        return sum(self._balances.values())
+
+    def digest(self) -> int:
+        """A field-element commitment to the full ledger state.
+
+        MiMC over the sorted (address, balance, sequence) triples plus the
+        queued withdrawals — what the federation's certificates commit to.
+        """
+        elements: list[int] = []
+        for addr in sorted(self._balances):
+            elements.append(element_from_bytes(addr))
+            elements.append(self._balances[addr])
+            elements.append(self._sequences.get(addr, 0))
+        for bt in self.pending_withdrawals:
+            elements.append(element_from_bytes(bt.receiver_addr))
+            elements.append(bt.amount)
+        return mimc_hash(elements)
+
+    # -- mutations ----------------------------------------------------------------
+
+    def deposit(self, addr: bytes, amount: int) -> None:
+        """Credit a forward transfer."""
+        if amount <= 0:
+            raise StateTransitionError("deposit must be positive")
+        self._balances[addr] = self._balances.get(addr, 0) + amount
+        self.operations_applied += 1
+
+    def apply_transfer(self, transfer: AccountTransfer) -> None:
+        """Apply a signed transfer; raises on any invalidity."""
+        if not transfer.verify_signature():
+            raise StateTransitionError("bad transfer signature")
+        if transfer.amount <= 0:
+            raise StateTransitionError("transfer amount must be positive")
+        sender = transfer.sender
+        if transfer.sequence != self.sequence_of(sender):
+            raise StateTransitionError(
+                f"bad sequence {transfer.sequence}, expected {self.sequence_of(sender)}"
+            )
+        if self.balance_of(sender) < transfer.amount:
+            raise StateTransitionError("insufficient balance")
+        self._balances[sender] -= transfer.amount
+        if not self._balances[sender]:
+            del self._balances[sender]
+        self._balances[transfer.receiver] = (
+            self._balances.get(transfer.receiver, 0) + transfer.amount
+        )
+        self._sequences[sender] = transfer.sequence + 1
+        self.operations_applied += 1
+
+    def apply_withdrawal(self, request: WithdrawalRequest) -> None:
+        """Queue a withdrawal for the next certificate; raises on invalidity."""
+        if not request.verify_signature():
+            raise StateTransitionError("bad withdrawal signature")
+        if request.amount <= 0:
+            raise StateTransitionError("withdrawal amount must be positive")
+        sender = request.sender
+        if request.sequence != self.sequence_of(sender):
+            raise StateTransitionError(
+                f"bad sequence {request.sequence}, expected {self.sequence_of(sender)}"
+            )
+        if self.balance_of(sender) < request.amount:
+            raise StateTransitionError("insufficient balance")
+        self._balances[sender] -= request.amount
+        if not self._balances[sender]:
+            del self._balances[sender]
+        self._sequences[sender] = request.sequence + 1
+        self.pending_withdrawals.append(
+            BackwardTransfer(receiver_addr=request.mc_receiver, amount=request.amount)
+        )
+        self.operations_applied += 1
+
+    def start_new_epoch(self) -> None:
+        """Drain the withdrawal queue (it rode out in the certificate)."""
+        self.pending_withdrawals = []
+
+    def copy(self) -> "AccountLedger":
+        """Independent snapshot."""
+        clone = AccountLedger()
+        clone._balances = dict(self._balances)
+        clone._sequences = dict(self._sequences)
+        clone.pending_withdrawals = list(self.pending_withdrawals)
+        clone.operations_applied = self.operations_applied
+        return clone

@@ -1,0 +1,110 @@
+"""Latus sidechain blocks.
+
+A sidechain block is forged by the slot leader; it carries zero or more
+mainchain block references (contiguous, §5.1) followed by regular sidechain
+transactions, and commits to the resulting state digest.  The forger signs
+the block id with the key whose address won the slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.crypto.hashing import hash_bytes
+from repro.crypto.keys import KeyPair, address_of
+from repro.crypto.signatures import PublicKey, Signature
+from repro.encoding import Encoder
+from repro.latus.mc_ref import MCBlockReference
+from repro.latus.transactions import LatusTransaction
+from repro.latus.utxo import address_to_field
+
+
+@dataclass(frozen=True)
+class SidechainBlock:
+    """A full Latus block."""
+
+    parent_hash: bytes
+    height: int
+    slot: int
+    forger_pubkey: PublicKey
+    mc_refs: tuple[MCBlockReference, ...]
+    transactions: tuple[LatusTransaction, ...]
+    #: Digest of the state *after* applying this block (consensus-checked).
+    state_digest: int
+    signature: Signature
+
+    def encode_unsigned(self) -> bytes:
+        """Canonical encoding without the forger signature."""
+        enc = (
+            Encoder()
+            .raw(self.parent_hash)
+            .u64(self.height)
+            .u64(self.slot)
+            .var_bytes(self.forger_pubkey.to_bytes())
+            .field_element(self.state_digest)
+        )
+        enc.sequence(self.mc_refs, lambda e, r: e.raw(r.mc_block_hash))
+        enc.sequence(self.transactions, lambda e, t: e.raw(t.txid))
+        return enc.done()
+
+    @cached_property
+    def hash(self) -> bytes:
+        """The block id."""
+        return hash_bytes(self.encode_unsigned(), b"latus/block")
+
+    @property
+    def forger_addr(self) -> int:
+        """The forger's address as a field element (matched to slot leader)."""
+        return address_to_field(address_of(self.forger_pubkey))
+
+    def verify_signature(self) -> bool:
+        """Check the forger's signature over the block id."""
+        return self.forger_pubkey.verify(self.hash, self.signature)
+
+    def ordered_transitions(self) -> list[LatusTransaction]:
+        """All state transitions in application order.
+
+        Per reference: the FTTx then the BTRTx (synchronized transactions
+        come first, Fig. 7), then the block's regular transactions.
+        """
+        transitions: list[LatusTransaction] = []
+        for ref in self.mc_refs:
+            if ref.forward_transfers is not None:
+                transitions.append(ref.forward_transfers)
+            if ref.bt_requests is not None:
+                transitions.append(ref.bt_requests)
+        transitions.extend(self.transactions)
+        return transitions
+
+
+def forge_block(
+    parent_hash: bytes,
+    height: int,
+    slot: int,
+    forger: KeyPair,
+    mc_refs: tuple[MCBlockReference, ...],
+    transactions: tuple[LatusTransaction, ...],
+    state_digest: int,
+) -> SidechainBlock:
+    """Assemble and sign a sidechain block."""
+    draft = SidechainBlock(
+        parent_hash=parent_hash,
+        height=height,
+        slot=slot,
+        forger_pubkey=forger.public,
+        mc_refs=mc_refs,
+        transactions=transactions,
+        state_digest=state_digest,
+        signature=Signature(e=1, s=1),
+    )
+    return SidechainBlock(
+        parent_hash=parent_hash,
+        height=height,
+        slot=slot,
+        forger_pubkey=forger.public,
+        mc_refs=mc_refs,
+        transactions=transactions,
+        state_digest=state_digest,
+        signature=forger.sign(draft.hash),
+    )

@@ -1,0 +1,27 @@
+"""Latus consensus: Ouroboros-style slots, stake snapshots, fork choice."""
+
+from repro.latus.consensus.fork_choice import (
+    ChainCandidate,
+    compare_candidates,
+    select_best,
+)
+from repro.latus.consensus.ouroboros import (
+    LeaderSchedule,
+    SlotPosition,
+    genesis_seed,
+    next_epoch_seed,
+    slot_leader,
+)
+from repro.latus.consensus.stake import StakeDistribution
+
+__all__ = [
+    "ChainCandidate",
+    "LeaderSchedule",
+    "SlotPosition",
+    "StakeDistribution",
+    "compare_candidates",
+    "genesis_seed",
+    "next_epoch_seed",
+    "select_best",
+    "slot_leader",
+]

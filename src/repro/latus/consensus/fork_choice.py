@@ -1,0 +1,57 @@
+"""Sidechain fork choice (paper §5.1).
+
+"The chain resolution algorithm is altered to enforce that the sidechain
+follows the longest mainchain branch": between two candidate sidechain
+chains, prefer the one whose last mainchain reference carries more
+cumulative MC work; only among chains referencing the same MC branch does
+sidechain length decide; block hash breaks residual ties deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.latus.block import SidechainBlock
+
+
+@dataclass(frozen=True)
+class ChainCandidate:
+    """A candidate sidechain branch with the MC work its tip references."""
+
+    blocks: tuple[SidechainBlock, ...]
+    referenced_mc_work: int
+
+    @property
+    def height(self) -> int:
+        return len(self.blocks) - 1
+
+    @property
+    def tip_hash(self) -> bytes:
+        return self.blocks[-1].hash if self.blocks else b"\x00" * 32
+
+
+def compare_candidates(a: ChainCandidate, b: ChainCandidate) -> int:
+    """Three-level comparison: MC work, then SC height, then tip hash.
+
+    Returns negative when ``a`` loses, positive when ``a`` wins, never 0 for
+    distinct non-empty chains (the hash tie-break is total).
+    """
+    if a.referenced_mc_work != b.referenced_mc_work:
+        return -1 if a.referenced_mc_work < b.referenced_mc_work else 1
+    if a.height != b.height:
+        return -1 if a.height < b.height else 1
+    if a.tip_hash == b.tip_hash:
+        return 0
+    return -1 if a.tip_hash < b.tip_hash else 1
+
+
+def select_best(candidates: Sequence[ChainCandidate]) -> ChainCandidate:
+    """The winning branch among ``candidates``."""
+    if not candidates:
+        raise ValueError("no candidates to choose from")
+    best = candidates[0]
+    for candidate in candidates[1:]:
+        if compare_candidates(candidate, best) > 0:
+            best = candidate
+    return best

@@ -1,0 +1,108 @@
+"""Ouroboros-style slot-leader selection (paper §5.1, Fig. 5).
+
+SUBSTITUTION (DESIGN.md §4): full Ouroboros derives epoch randomness from a
+multi-party coin-tossing protocol; we derive it by hashing the previous
+epoch's seed — a deterministic VRF stand-in that is revealed "after the
+stake distribution is fixed" in the same scheduling sense.  The slot/epoch
+structure, stake-weighted selection and skipped-slot behaviour are the parts
+the CCTP interacts with, and those are faithfully implemented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import hash_bytes
+from repro.encoding import Encoder
+from repro.errors import ConsensusError
+from repro.latus.consensus.stake import StakeDistribution
+
+_SEED_DOMAIN = b"latus/epoch-seed"
+_LOTTERY_DOMAIN = b"latus/slot-lottery"
+
+
+def genesis_seed(ledger_id: bytes) -> bytes:
+    """The consensus-epoch-0 randomness, fixed by the sidechain identity."""
+    return hash_bytes(ledger_id, _SEED_DOMAIN)
+
+
+def next_epoch_seed(previous_seed: bytes, epoch: int) -> bytes:
+    """Evolve the epoch randomness (revealed once stake is fixed)."""
+    material = Encoder().raw(previous_seed).u64(epoch).done()
+    return hash_bytes(material, _SEED_DOMAIN)
+
+
+def slot_leader(
+    seed: bytes, absolute_slot: int, distribution: StakeDistribution
+) -> int | None:
+    """The paper's ``Select(SD, rand)`` for one slot.
+
+    Returns the leader's address (field element), or None when the stake
+    distribution is empty (the bootstrap case — callers fall back to the
+    sidechain creator, see :class:`LeaderSchedule`).
+    """
+    if distribution.is_empty:
+        return None
+    material = Encoder().raw(seed).u64(absolute_slot).done()
+    digest = hash_bytes(material, _LOTTERY_DOMAIN)
+    point = int.from_bytes(digest, "little") % distribution.total
+    return distribution.owner_at(point)
+
+
+@dataclass(frozen=True)
+class SlotPosition:
+    """An absolute slot number with its (epoch, index) decomposition."""
+
+    absolute: int
+    epoch: int
+    index: int
+
+    @classmethod
+    def from_absolute(cls, absolute: int, slots_per_epoch: int) -> "SlotPosition":
+        if absolute < 0:
+            raise ConsensusError("slot numbers are non-negative")
+        return cls(
+            absolute=absolute,
+            epoch=absolute // slots_per_epoch,
+            index=absolute % slots_per_epoch,
+        )
+
+
+class LeaderSchedule:
+    """The full leader assignment of one consensus epoch (Fig. 5).
+
+    The stake distribution is the snapshot taken at the end of the previous
+    epoch; when it is empty every slot falls back to ``bootstrap_leader``
+    (the sidechain creator) so the chain can start before any forward
+    transfer has landed.
+    """
+
+    def __init__(
+        self,
+        epoch: int,
+        seed: bytes,
+        distribution: StakeDistribution,
+        slots_per_epoch: int,
+        bootstrap_leader: int,
+    ) -> None:
+        self.epoch = epoch
+        self.seed = seed
+        self.distribution = distribution
+        self.slots_per_epoch = slots_per_epoch
+        self.bootstrap_leader = bootstrap_leader
+
+    def leader_of(self, slot_index: int) -> int:
+        """The leader address of slot ``slot_index`` within this epoch."""
+        if not 0 <= slot_index < self.slots_per_epoch:
+            raise ConsensusError(f"slot index {slot_index} out of epoch range")
+        absolute = self.epoch * self.slots_per_epoch + slot_index
+        leader = slot_leader(self.seed, absolute, self.distribution)
+        return leader if leader is not None else self.bootstrap_leader
+
+    def leaders(self) -> list[int]:
+        """All leaders of the epoch, slot order."""
+        return [self.leader_of(i) for i in range(self.slots_per_epoch)]
+
+    def is_leader(self, addr: int, slot_index: int) -> bool:
+        """True when ``addr`` may forge at ``slot_index``."""
+        return self.leader_of(slot_index) == addr

@@ -1,0 +1,70 @@
+"""Stake distributions for slot-leader selection (paper §5.1).
+
+The stake distribution of a consensus epoch is a snapshot of coin ownership
+fixed *before* the epoch begins.  Latus has no native asset: stake is the
+Coin balance held in the sidechain's UTXO set, aggregated per owner address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import ConsensusError
+from repro.latus.utxo import Utxo
+
+
+@dataclass(frozen=True)
+class StakeDistribution:
+    """An immutable snapshot: owner address (field element) -> total stake."""
+
+    stakes: tuple[tuple[int, int], ...]  # sorted (addr, amount) pairs
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[int, int]) -> "StakeDistribution":
+        """Build from an address -> amount mapping, dropping zero entries."""
+        pairs = tuple(sorted((a, s) for a, s in mapping.items() if s > 0))
+        return cls(stakes=pairs)
+
+    @classmethod
+    def from_utxos(cls, utxos: Iterable[Utxo]) -> "StakeDistribution":
+        """Aggregate a UTXO population by owner."""
+        totals: dict[int, int] = {}
+        for utxo in utxos:
+            totals[utxo.addr] = totals.get(utxo.addr, 0) + utxo.amount
+        return cls.from_mapping(totals)
+
+    @property
+    def total(self) -> int:
+        """Total stake in the snapshot."""
+        return sum(amount for _, amount in self.stakes)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nobody holds stake (bootstrap situation)."""
+        return not self.stakes
+
+    def stake_of(self, addr: int) -> int:
+        """Stake of one address (0 when absent)."""
+        for a, s in self.stakes:
+            if a == addr:
+                return s
+        return 0
+
+    def owner_at(self, point: int) -> int:
+        """The address owning the stake unit at ``point ∈ [0, total)``.
+
+        Addresses own contiguous ranges in sorted order, so a uniformly
+        random point selects an address with probability proportional to its
+        stake — the core of the leader lottery.
+        """
+        if self.is_empty:
+            raise ConsensusError("cannot sample an empty stake distribution")
+        if not 0 <= point < self.total:
+            raise ConsensusError(f"sample point {point} out of range")
+        cumulative = 0
+        for addr, amount in self.stakes:
+            cumulative += amount
+            if point < cumulative:
+                return addr
+        raise AssertionError("unreachable: point below total but not matched")

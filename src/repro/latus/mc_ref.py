@@ -1,0 +1,176 @@
+"""Mainchain block references (paper §5.5.1).
+
+A Latus block embeds references to MC blocks; each reference carries the MC
+header, the Merkle evidence tying the synchronized transactions to the
+header's ``SCTxsCommitment`` (``mproof`` when the block has data for this
+sidechain, ``proofOfNoData`` otherwise), and the derived synchronization
+transactions (FTTx / BTRTx) plus the withdrawal certificate if one was
+included for this sidechain.
+
+``verify_mc_ref`` checks exactly what §5.5.1 promises: "all SC-related
+transactions were correctly synchronized from the MC block without the need
+to download and verify its body."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.commitment import AbsenceProof, PresenceProof, build_commitment
+from repro.core.transfers import (
+    BackwardTransferRequest,
+    ForwardTransfer,
+    WithdrawalCertificate,
+)
+from repro.errors import ConsensusError
+from repro.latus.mst import MerkleStateTree
+from repro.latus.transactions import (
+    BackwardTransferRequestsTx,
+    ForwardTransfersTx,
+    build_btr_tx,
+    build_forward_transfers_tx,
+)
+from repro.mainchain.block import Block as MainchainBlock
+from repro.mainchain.block import BlockHeader as MainchainBlockHeader
+from repro.mainchain.transaction import BtrTx, CertificateTx, CoinTransaction
+
+
+@dataclass(frozen=True)
+class MCBlockReference:
+    """One referenced mainchain block and this sidechain's slice of it."""
+
+    header: MainchainBlockHeader
+    mproof: PresenceProof | None
+    proof_of_no_data: AbsenceProof | None
+    forward_transfers: ForwardTransfersTx | None
+    bt_requests: BackwardTransferRequestsTx | None
+    wcert: WithdrawalCertificate | None
+
+    @property
+    def mc_block_hash(self) -> bytes:
+        """Hash of the referenced MC block."""
+        return self.header.hash
+
+    @property
+    def mc_height(self) -> int:
+        """Height of the referenced MC block."""
+        return self.header.height
+
+    @property
+    def has_data(self) -> bool:
+        """True when the MC block contained anything for this sidechain."""
+        return (
+            self.forward_transfers is not None
+            or self.bt_requests is not None
+            or self.wcert is not None
+        )
+
+
+def extract_sidechain_slice(
+    mc_block: MainchainBlock, ledger_id: bytes
+) -> tuple[
+    tuple[ForwardTransfer, ...],
+    tuple[BackwardTransferRequest, ...],
+    WithdrawalCertificate | None,
+]:
+    """Pull this sidechain's FTs, BTRs and certificate out of an MC block."""
+    fts: list[ForwardTransfer] = []
+    btrs: list[BackwardTransferRequest] = []
+    wcert: WithdrawalCertificate | None = None
+    for tx in mc_block.transactions:
+        if isinstance(tx, CoinTransaction):
+            fts.extend(ft for ft in tx.forward_transfers if ft.ledger_id == ledger_id)
+        elif isinstance(tx, BtrTx):
+            btrs.extend(r for r in tx.requests if r.ledger_id == ledger_id)
+        elif isinstance(tx, CertificateTx) and tx.wcert.ledger_id == ledger_id:
+            wcert = tx.wcert
+    return tuple(fts), tuple(btrs), wcert
+
+
+def build_mc_ref(
+    mc_block: MainchainBlock, ledger_id: bytes, mst: MerkleStateTree
+) -> MCBlockReference:
+    """Construct the reference a forger embeds for ``mc_block``.
+
+    ``mst`` must be the sidechain state at the point the reference will be
+    applied (the derived FTTx/BTRTx depend on it deterministically).
+    References within one SC block must be built sequentially against the
+    evolving state.
+    """
+    fts, btrs, wcert = extract_sidechain_slice(mc_block, ledger_id)
+
+    # Recompute the block's full commitment tree to extract proofs.
+    all_fts: list[ForwardTransfer] = []
+    all_btrs: list[BackwardTransferRequest] = []
+    all_wcerts: list[WithdrawalCertificate] = []
+    for tx in mc_block.transactions:
+        if isinstance(tx, CoinTransaction):
+            all_fts.extend(tx.forward_transfers)
+        elif isinstance(tx, BtrTx):
+            all_btrs.extend(tx.requests)
+        elif isinstance(tx, CertificateTx):
+            all_wcerts.append(tx.wcert)
+    tree = build_commitment(all_fts, all_btrs, all_wcerts)
+
+    has_data = bool(fts or btrs or wcert is not None)
+    mproof = tree.prove_presence(ledger_id) if has_data else None
+    no_data = tree.prove_absence(ledger_id) if not has_data else None
+
+    ft_tx = (
+        build_forward_transfers_tx(mc_block.hash, fts, mst) if fts else None
+    )
+    # FTTx outputs occupy slots the BTRTx derivation must observe.
+    btr_view = mst
+    if ft_tx is not None and ft_tx.outputs:
+        btr_view = mst.copy()
+        for utxo in ft_tx.outputs:
+            btr_view.add(utxo)
+    btr_tx = build_btr_tx(mc_block.hash, btrs, btr_view) if btrs else None
+
+    return MCBlockReference(
+        header=mc_block.header,
+        mproof=mproof,
+        proof_of_no_data=no_data,
+        forward_transfers=ft_tx,
+        bt_requests=btr_tx,
+        wcert=wcert,
+    )
+
+
+def verify_mc_ref(ref: MCBlockReference, ledger_id: bytes) -> None:
+    """Check a reference's commitment evidence; raises on failure.
+
+    Stateful correctness of the derived FTTx/BTRTx is checked later, when
+    the transactions are applied against the state (their deterministic
+    re-derivation happens there).
+    """
+    commitment_root = ref.header.sc_txs_commitment
+    if ref.has_data:
+        if ref.mproof is None:
+            raise ConsensusError("reference with data must carry an mproof")
+        fts = (
+            ref.forward_transfers.transfers
+            if ref.forward_transfers is not None
+            else ()
+        )
+        btrs = ref.bt_requests.requests if ref.bt_requests is not None else ()
+        if not ref.mproof.verify_payload(commitment_root, fts, btrs, ref.wcert):
+            raise ConsensusError(
+                "reference payload does not match the MC commitment"
+            )
+        if ref.forward_transfers is not None and not fts:
+            raise ConsensusError("FTTx present but carries no transfers")
+        if ref.bt_requests is not None and not btrs:
+            raise ConsensusError("BTRTx present but carries no requests")
+        for tx in (ref.forward_transfers, ref.bt_requests):
+            if tx is not None and tx.mc_block_id != ref.mc_block_hash:
+                raise ConsensusError("derived transaction references wrong MC block")
+    else:
+        if ref.proof_of_no_data is None:
+            raise ConsensusError("reference without data must carry proofOfNoData")
+        if not ref.proof_of_no_data.verify(commitment_root):
+            raise ConsensusError("proofOfNoData does not verify")
+        if ref.proof_of_no_data.ledger_id != ledger_id:
+            raise ConsensusError("proofOfNoData is for a different sidechain")
+    if ref.mproof is not None and ref.mproof.ledger_id != ledger_id:
+        raise ConsensusError("mproof is for a different sidechain")

@@ -1,0 +1,99 @@
+"""The ``mst_delta`` bit vector (paper §5.5.3.1 and Appendix A).
+
+Each withdrawal certificate carries a fixed-size bit vector with one bit per
+MST leaf; bit ``i`` is 1 iff leaf ``i`` was modified at least once during
+the epoch.  Chaining deltas lets a user prove a UTXO committed in an *old*
+certificate is still unspent — inclusion proof against the old MST root plus
+untouched-bit checks across every subsequent delta — which is the paper's
+defence against data-availability attacks by a compromised sidechain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.crypto.field import element_from_bytes
+from repro.crypto.fixed_merkle import FieldMerkleProof
+from repro.crypto.hashing import hash_bytes
+from repro.errors import MstError
+from repro.latus.utxo import Utxo
+
+
+@dataclass(frozen=True)
+class MstDelta:
+    """A fixed-size modification bit vector for one withdrawal epoch."""
+
+    depth: int
+    touched: frozenset[int]
+
+    def __post_init__(self) -> None:
+        capacity = 1 << self.depth
+        for position in self.touched:
+            if not 0 <= position < capacity:
+                raise MstError(f"touched position {position} out of range")
+
+    @classmethod
+    def from_positions(cls, depth: int, positions: Iterable[int]) -> "MstDelta":
+        """Build a delta from the positions modified during the epoch."""
+        return cls(depth=depth, touched=frozenset(positions))
+
+    @property
+    def capacity(self) -> int:
+        """Number of bits (MST leaves)."""
+        return 1 << self.depth
+
+    def bit(self, position: int) -> int:
+        """The modification bit of one leaf."""
+        if not 0 <= position < self.capacity:
+            raise MstError(f"position {position} out of range")
+        return 1 if position in self.touched else 0
+
+    def to_bitstring(self) -> str:
+        """Human-readable form, e.g. Appendix A's ``11100001``."""
+        return "".join(str(self.bit(i)) for i in range(self.capacity))
+
+    def to_bytes(self) -> bytes:
+        """Packed little-endian bit vector (bit ``i`` = leaf ``i``)."""
+        packed = bytearray((self.capacity + 7) // 8)
+        for position in self.touched:
+            packed[position // 8] |= 1 << (position % 8)
+        return bytes(packed)
+
+    def digest_field(self) -> int:
+        """A field-element digest — how the delta rides in ``proofdata``."""
+        return element_from_bytes(hash_bytes(self.to_bytes(), b"latus/mst-delta"))
+
+    def __or__(self, other: "MstDelta") -> "MstDelta":
+        """Union of two deltas (touched in either epoch)."""
+        if self.depth != other.depth:
+            raise MstError("cannot combine deltas of different depths")
+        return MstDelta(depth=self.depth, touched=self.touched | other.touched)
+
+
+def untouched_since(deltas: Sequence[MstDelta], position: int) -> bool:
+    """True when no delta in the sequence touched ``position``."""
+    return all(delta.bit(position) == 0 for delta in deltas)
+
+
+def verify_unspent_across_epochs(
+    utxo: Utxo,
+    inclusion_proof: FieldMerkleProof,
+    old_mst_root: int,
+    deltas: Sequence[MstDelta],
+) -> bool:
+    """The Appendix-A non-spend argument.
+
+    Returns True iff ``utxo`` opens to ``old_mst_root`` (an MST root
+    committed by some past certificate) *and* its slot is untouched by every
+    ``mst_delta`` published since — hence it is still unspent in the latest
+    committed state even if that state itself is unavailable.
+    """
+    position = utxo.position(inclusion_proof.depth)
+    if inclusion_proof.position != position:
+        return False
+    if inclusion_proof.leaf != utxo.leaf_value:
+        return False
+    if not inclusion_proof.verify(old_mst_root):
+        return False
+    return untouched_since(deltas, position)

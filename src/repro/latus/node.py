@@ -1,0 +1,590 @@
+"""The Latus full node (paper §5).
+
+A Latus node directly observes a mainchain node (the parent-child
+relationship of §1: "sidechain nodes directly observe the mainchain while
+mainchain nodes only observe cryptographically authenticated certificates").
+Its responsibilities:
+
+* **Sync** — follow the MC active chain; on an MC reorg, deterministically
+  rebuild the sidechain so blocks referencing orphaned MC blocks are
+  reverted (§5.1's fork-resolution property);
+* **Forge** — one slot per observed MC block; when a controlled key wins
+  the slot lottery, forge a block embedding the pending MC references
+  (contiguous, cut at withdrawal-epoch boundaries) and pending transactions;
+* **Certify** — when the block referencing a withdrawal epoch's last MC
+  block is forged, build the recursive epoch proof, produce the withdrawal
+  certificate and submit it to the MC mempool;
+* **Track** — maintain the UTXO index (full outputs, not just MST leaves),
+  per-consensus-epoch stake snapshots and the certificate history that
+  anchors BTR/CSW proofs.
+
+The slot clock is driven by MC blocks: slot ``k`` corresponds to MC height
+``start_block + k``.  This pins the synchronous-slot assumption of
+Ouroboros to the observable MC timeline and keeps the whole construction
+deterministic, which is also what makes reorg recovery a pure replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bootstrap import SidechainConfig
+from repro.core.transfers import WithdrawalCertificate
+from repro.crypto.keys import KeyPair, address_of
+from repro.errors import ConsensusError, ForgingError, StateTransitionError, ZendooError
+from repro.latus.block import SidechainBlock, forge_block
+from repro.latus.consensus.ouroboros import (
+    LeaderSchedule,
+    genesis_seed,
+    next_epoch_seed,
+)
+from repro.latus.consensus.stake import StakeDistribution
+from repro.latus.mc_ref import MCBlockReference, build_mc_ref, verify_mc_ref
+from repro.latus.mst_delta import MstDelta
+from repro.latus.params import LatusParams
+from repro.latus.proofs import EpochProver
+from repro.latus.state import LatusState
+from repro.latus.transactions import (
+    BackwardTransferRequestsTx,
+    BackwardTransferTx,
+    ForwardTransfersTx,
+    LatusTransaction,
+    PaymentTx,
+)
+from repro.latus.utxo import Utxo, address_to_field
+from repro.latus.wcert import WCertWitness, WithdrawalCertificateBuilder
+from repro.mainchain.block import Block as MainchainBlock
+from repro.mainchain.node import MainchainNode
+from repro.mainchain.transaction import CertificateTx
+
+
+@dataclass
+class EpochLedger:
+    """Book-keeping for the withdrawal epoch currently in progress."""
+
+    epoch_id: int
+    start_state: LatusState
+    transitions: list[LatusTransaction] = field(default_factory=list)
+    referenced_mc_hashes: list[bytes] = field(default_factory=list)
+
+    def copy(self) -> "EpochLedger":
+        return EpochLedger(
+            epoch_id=self.epoch_id,
+            start_state=self.start_state.copy(),
+            transitions=list(self.transitions),
+            referenced_mc_hashes=list(self.referenced_mc_hashes),
+        )
+
+
+@dataclass
+class _NodeSnapshot:
+    """Rollback point captured after each applied sidechain block.
+
+    Enables §5.1's fork resolution: on an MC reorg only the SC blocks
+    referencing orphaned MC blocks are reverted — everything below the fork
+    point is restored from the snapshot, preserving history (and therefore
+    agreement with certificates the MC already adopted).
+    """
+
+    state: LatusState
+    utxo_index: dict[int, "Utxo"]
+    epoch: EpochLedger
+    last_referenced_mc_height: int
+    included_txids: set[bytes]
+    certificates_len: int
+    epoch_seeds: dict[int, bytes]
+    epoch_stakes: dict[int, object]
+
+
+@dataclass(frozen=True)
+class CertificateAnchor:
+    """Where a submitted certificate landed — the BTR/CSW anchor data."""
+
+    certificate: WithdrawalCertificate
+    #: MST root committed by the certificate.
+    mst_root: int
+    #: Snapshot of the committed state's tree (for membership proofs).
+    state_snapshot: LatusState
+    mst_delta: MstDelta
+
+
+class LatusNode:
+    """A Latus sidechain full node bound to one mainchain node."""
+
+    def __init__(
+        self,
+        config: SidechainConfig,
+        params: LatusParams,
+        mc_node: MainchainNode,
+        creator: KeyPair,
+        forger_keys: list[KeyPair] | None = None,
+        proving_strategy: str = "per_transaction",
+        auto_submit_certificates: bool = True,
+    ) -> None:
+        self.config = config
+        self.params = params
+        self.mc = mc_node
+        self.creator = creator
+        self.ledger_id = config.ledger_id
+        keys = forger_keys if forger_keys is not None else [creator]
+        self.forgers: dict[int, KeyPair] = {
+            address_to_field(address_of(k.public)): k for k in keys
+        }
+        self.prover = EpochProver(proving_strategy)
+        self.cert_builder = WithdrawalCertificateBuilder(self.ledger_id, self.prover)
+        self.auto_submit_certificates = auto_submit_certificates
+
+        #: Every wallet-submitted transaction ever seen (survives rebuilds).
+        self.submitted_txs: list[LatusTransaction] = []
+        self.certificates: list[WithdrawalCertificate] = []
+        self.anchors: dict[int, CertificateAnchor] = {}
+        #: The witness behind the most recent certificate (kept for
+        #: diagnostics, tests and benchmarks; never sent to the MC).
+        self.last_wcert_witness: WCertWitness | None = None
+
+        self._reset_chain_state()
+
+    # -- chain state (rebuilt wholesale on MC reorgs) ---------------------------------
+
+    def _reset_chain_state(self) -> None:
+        self.state = LatusState(self.params.mst_depth)
+        self.utxo_index: dict[int, Utxo] = {}
+        self.blocks: list[SidechainBlock] = []
+        self.block_snapshots: list[_NodeSnapshot] = []
+        self.synced_mc: list[tuple[int, bytes]] = []
+        self.mc_queue: list[MainchainBlock] = []
+        self.last_referenced_mc_height = self.config.start_block - 1
+        self.included_txids: set[bytes] = set()
+        self.epoch = EpochLedger(epoch_id=0, start_state=self.state.copy())
+        self._epoch_seeds: dict[int, bytes] = {0: genesis_seed(self.ledger_id)}
+        self._epoch_stakes: dict[int, StakeDistribution] = {
+            0: StakeDistribution.from_mapping({})
+        }
+        self.certificates = []
+        self.anchors = {}
+        self.skipped_slots: list[int] = []
+
+    # -- public API --------------------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Sidechain chain height (-1 before the first block)."""
+        return len(self.blocks) - 1
+
+    @property
+    def tip_hash(self) -> bytes:
+        """Hash of the sidechain tip (zeros before the first block)."""
+        return self.blocks[-1].hash if self.blocks else b"\x00" * 32
+
+    def add_forger(self, keypair: KeyPair) -> None:
+        """Register a stakeholder key this node may forge with.
+
+        In a deployment every stakeholder runs their own forging node; the
+        single-process harness registers all simulated stakeholders here so
+        their slots are not skipped.
+        """
+        self.forgers[address_to_field(address_of(keypair.public))] = keypair
+
+    def submit_transaction(self, tx: LatusTransaction) -> None:
+        """Queue a wallet transaction for inclusion."""
+        if isinstance(tx, (ForwardTransfersTx, BackwardTransferRequestsTx)):
+            raise ConsensusError(
+                "FTTx/BTRTx are MC-defined; they cannot be submitted directly"
+            )
+        self.submitted_txs.append(tx)
+
+    def pending_transactions(self) -> list[LatusTransaction]:
+        """Submitted transactions not yet included in a block."""
+        return [tx for tx in self.submitted_txs if tx.txid not in self.included_txids]
+
+    def sync(self) -> list[SidechainBlock]:
+        """Follow the mainchain; returns sidechain blocks forged by this call.
+
+        Detects MC reorgs by comparing synced hashes to the current MC
+        active chain; on divergence, only the sidechain blocks referencing
+        orphaned MC blocks are reverted (§5.1's fork resolution) — history
+        below the fork point is restored from snapshots so it keeps
+        matching certificates the MC already adopted.
+        """
+        divergence = self._find_divergence()
+        if divergence is not None:
+            self._rollback_before(divergence)
+        forged: list[SidechainBlock] = []
+        while self.synced_mc_height < self.mc.height:
+            forged.extend(self._process_mc_height(self.synced_mc_height + 1))
+        return forged
+
+    @property
+    def synced_mc_height(self) -> int:
+        """Highest MC height this node has processed."""
+        if self.synced_mc:
+            return self.synced_mc[-1][0]
+        return min(self.config.start_block - 1, self.mc.height)
+
+    # -- stake & leadership --------------------------------------------------------------
+
+    def stake_distribution(self) -> StakeDistribution:
+        """Current stake: the full UTXO population aggregated by owner."""
+        return StakeDistribution.from_utxos(self.utxo_index.values())
+
+    def leader_schedule(self, consensus_epoch: int) -> LeaderSchedule:
+        """The leader schedule of a consensus epoch seen so far."""
+        if consensus_epoch not in self._epoch_seeds:
+            raise ConsensusError(f"consensus epoch {consensus_epoch} not yet started")
+        return LeaderSchedule(
+            epoch=consensus_epoch,
+            seed=self._epoch_seeds[consensus_epoch],
+            distribution=self._epoch_stakes[consensus_epoch],
+            slots_per_epoch=self.params.slots_per_epoch,
+            bootstrap_leader=address_to_field(self.creator.address),
+        )
+
+    # -- MC following ---------------------------------------------------------------------
+
+    def _find_divergence(self) -> int | None:
+        """First synced MC height no longer on the active chain, if any."""
+        if not self.synced_mc:
+            return None
+        height, stored_hash = self.synced_mc[-1]
+        if height <= self.mc.height and self.mc.state.block_hash_at(height) == stored_hash:
+            return None  # hash-chain property: the whole prefix matches
+        for height, stored_hash in self.synced_mc:
+            if height > self.mc.height:
+                return height
+            if self.mc.state.block_hash_at(height) != stored_hash:
+                return height
+        return None
+
+    def _rollback_before(self, divergence: int) -> None:
+        """Revert every SC block referencing MC heights >= ``divergence``."""
+        keep = 0
+        for i, block in enumerate(self.blocks):
+            if block.mc_refs and block.mc_refs[-1].mc_height >= divergence:
+                break
+            keep = i + 1
+        if keep == 0:
+            # the entire sidechain history referenced the orphaned branch
+            self._reset_chain_state()
+            return
+        snapshot = self.block_snapshots[keep - 1]
+        self.blocks = self.blocks[:keep]
+        self.block_snapshots = self.block_snapshots[:keep]
+        self.state = snapshot.state.copy()
+        self.utxo_index = dict(snapshot.utxo_index)
+        self.epoch = snapshot.epoch.copy()
+        self.last_referenced_mc_height = snapshot.last_referenced_mc_height
+        self.included_txids = set(snapshot.included_txids)
+        self.certificates = self.certificates[: snapshot.certificates_len]
+        self.anchors = {
+            e: a for e, a in self.anchors.items() if e < self.epoch.epoch_id
+        }
+        self._epoch_seeds = dict(snapshot.epoch_seeds)
+        self._epoch_stakes = dict(snapshot.epoch_stakes)
+        self.synced_mc = [
+            (h, block_hash) for h, block_hash in self.synced_mc if h < divergence
+        ]
+        self.mc_queue = []
+        self._resubmit_reverted_certificates()
+
+    def _resubmit_reverted_certificates(self) -> None:
+        """Re-queue certificates whose MC adoption was reverted by a reorg.
+
+        The MC mempool drops a certificate once it is mined; if the mining
+        block is later orphaned the certificate must be resubmitted — the
+        submission-window rules then decide whether it can still make it.
+        """
+        if not self.auto_submit_certificates:
+            return
+        entry = self.mc.state.cctp.sidechains.get(self.ledger_id)
+        adopted = (
+            {record.certificate.id for record in entry.certificates.values()}
+            if entry is not None
+            else set()
+        )
+        for certificate in self.certificates:
+            if certificate.id in adopted:
+                continue
+            try:
+                self.mc.submit_transaction(CertificateTx(wcert=certificate))
+            except ZendooError:
+                pass  # already queued
+
+    def _process_mc_height(self, height: int) -> list[SidechainBlock]:
+        if height < self.config.start_block:
+            # Before activation there are no slots; nothing to record.
+            mc_block = self.mc.chain.block_at_height(height)
+            self.synced_mc.append((height, mc_block.hash))
+            return []
+        mc_block = self.mc.chain.block_at_height(height)
+        self.synced_mc.append((height, mc_block.hash))
+        self.mc_queue.append(mc_block)
+
+        slot = height - self.config.start_block
+        consensus_epoch = slot // self.params.slots_per_epoch
+        self._ensure_consensus_epoch(consensus_epoch)
+        schedule = self.leader_schedule(consensus_epoch)
+        leader = schedule.leader_of(slot % self.params.slots_per_epoch)
+
+        forger = self.forgers.get(leader)
+        if forger is None:
+            self.skipped_slots.append(slot)
+            return []
+        return self._forge_pending(forger, slot)
+
+    def _ensure_consensus_epoch(self, consensus_epoch: int) -> None:
+        """Fix the stake snapshot and randomness when a new epoch starts."""
+        if consensus_epoch in self._epoch_seeds:
+            return
+        previous = max(self._epoch_seeds)
+        for epoch in range(previous + 1, consensus_epoch + 1):
+            self._epoch_seeds[epoch] = next_epoch_seed(
+                self._epoch_seeds[epoch - 1], epoch
+            )
+            self._epoch_stakes[epoch] = self.stake_distribution()
+
+    # -- forging -------------------------------------------------------------------------
+
+    def _forge_pending(self, forger: KeyPair, slot: int) -> list[SidechainBlock]:
+        """Forge blocks covering the queued MC references.
+
+        Multiple blocks may be forged at one slot boundary when the queue
+        crosses a withdrawal-epoch boundary: the paper restricts a block from
+        referencing MC blocks of two different withdrawal epochs (§5.1.1),
+        so the queue is split at each epoch-last MC block.
+        """
+        forged = []
+        while self.mc_queue:
+            batch = self._take_reference_batch()
+            block = self._forge_block(forger, slot, batch)
+            forged.append(block)
+            last_height = batch[-1].height
+            if last_height == self.config.schedule.last_height(self.epoch.epoch_id):
+                self._close_withdrawal_epoch(block)
+            self._capture_snapshot()
+        return forged
+
+    def _capture_snapshot(self) -> None:
+        """Record the rollback point for the block just applied."""
+        self.block_snapshots.append(
+            _NodeSnapshot(
+                state=self.state.copy(),
+                utxo_index=dict(self.utxo_index),
+                epoch=self.epoch.copy(),
+                last_referenced_mc_height=self.last_referenced_mc_height,
+                included_txids=set(self.included_txids),
+                certificates_len=len(self.certificates),
+                epoch_seeds=dict(self._epoch_seeds),
+                epoch_stakes=dict(self._epoch_stakes),
+            )
+        )
+
+    def _take_reference_batch(self) -> list[MainchainBlock]:
+        """Queued MC blocks up to (and including) the epoch-last block."""
+        boundary = self.config.schedule.last_height(self.epoch.epoch_id)
+        batch = []
+        while self.mc_queue:
+            batch.append(self.mc_queue.pop(0))
+            if batch[-1].height == boundary:
+                break
+        return batch
+
+    def _forge_block(
+        self, forger: KeyPair, slot: int, mc_batch: list[MainchainBlock]
+    ) -> SidechainBlock:
+        if not mc_batch:
+            raise ForgingError("nothing to reference")
+        working = self.state
+        refs = []
+        for mc_block in mc_batch:
+            ref = build_mc_ref(mc_block, self.ledger_id, working.mst)
+            refs.append(ref)
+            for tx in _ref_transitions(ref):
+                working.apply(tx)
+                self._index_transition(tx)
+
+        included: list[LatusTransaction] = []
+        for tx in self.pending_transactions():
+            try:
+                working.apply(tx)
+            except StateTransitionError:
+                continue
+            self._index_transition(tx)
+            included.append(tx)
+
+        block = forge_block(
+            parent_hash=self.tip_hash,
+            height=self.height + 1,
+            slot=slot,
+            forger=forger,
+            mc_refs=tuple(refs),
+            transactions=tuple(included),
+            state_digest=working.digest(),
+        )
+        self.blocks.append(block)
+        self.included_txids.update(tx.txid for tx in included)
+        self.last_referenced_mc_height = mc_batch[-1].height
+        self.epoch.transitions.extend(block.ordered_transitions())
+        self.epoch.referenced_mc_hashes.extend(b.hash for b in mc_batch)
+        return block
+
+    def _index_transition(self, tx: LatusTransaction) -> None:
+        """Maintain the full-UTXO index across one applied transition."""
+        if isinstance(tx, PaymentTx):
+            for signed in tx.inputs:
+                self.utxo_index.pop(signed.utxo.nonce, None)
+            for utxo in tx.outputs:
+                self.utxo_index[utxo.nonce] = utxo
+        elif isinstance(tx, BackwardTransferTx):
+            for signed in tx.inputs:
+                self.utxo_index.pop(signed.utxo.nonce, None)
+        elif isinstance(tx, ForwardTransfersTx):
+            for utxo in tx.outputs:
+                self.utxo_index[utxo.nonce] = utxo
+        elif isinstance(tx, BackwardTransferRequestsTx):
+            for utxo in tx.inputs:
+                self.utxo_index.pop(utxo.nonce, None)
+
+    # -- withdrawal certificates -----------------------------------------------------------
+
+    def _close_withdrawal_epoch(self, last_block: SidechainBlock) -> None:
+        """Prove the epoch, emit the certificate and reset transient state."""
+        epoch_id = self.epoch.epoch_id
+        proof_result = self.prover.prove_epoch(
+            self.epoch.start_state, self.epoch.transitions
+        )
+        final_state = self.state.copy()
+        delta = MstDelta.from_positions(
+            self.params.mst_depth, self.state.mst.touched_positions
+        )
+        witness = WCertWitness(
+            epoch_proof=proof_result.proof,
+            start_state_digest=self.epoch.start_state.digest(),
+            final_state=final_state,
+            bt_list=tuple(self.state.backward_transfers),
+            last_block=last_block,
+            prev_epoch_last_block_hash=self._epoch_boundary_hash(epoch_id - 1),
+            referenced_mc_hashes=tuple(self.epoch.referenced_mc_hashes),
+            mst_delta=delta,
+            touched_positions=self.state.mst.touched_positions,
+        )
+        certificate = self.cert_builder.build(
+            epoch_id=epoch_id,
+            witness=witness,
+            h_prev_epoch_last=self._epoch_boundary_hash(epoch_id - 1),
+            h_epoch_last=self._epoch_boundary_hash(epoch_id),
+        )
+        self.certificates.append(certificate)
+        self.last_wcert_witness = witness
+        self.anchors[epoch_id] = CertificateAnchor(
+            certificate=certificate,
+            mst_root=final_state.mst_root,
+            state_snapshot=final_state,
+            mst_delta=delta,
+        )
+        if self.auto_submit_certificates:
+            try:
+                self.mc.submit_transaction(CertificateTx(wcert=certificate))
+            except ZendooError:
+                pass  # duplicate after a rebuild: already queued/confirmed
+
+        # Start the next withdrawal epoch (§5.2.1: BT list is transient).
+        self.state.start_new_epoch()
+        self.epoch = EpochLedger(
+            epoch_id=epoch_id + 1, start_state=self.state.copy()
+        )
+
+    def _epoch_boundary_hash(self, epoch_id: int) -> bytes:
+        """Active-chain hash of a withdrawal epoch's last MC block."""
+        if epoch_id < 0:
+            return b"\x00" * 32
+        height = self.config.schedule.last_height(epoch_id)
+        return self.mc.state.block_hash_at(height)
+
+    # -- receiving foreign blocks -------------------------------------------------------------
+
+    def bootstrap_from(self, blocks: list[SidechainBlock]) -> None:
+        """Bootstrap a fresh node from a peer's block history.
+
+        Every block passes the full :meth:`receive_block` validation
+        (leader lottery, reference commitment proofs, state re-execution),
+        so a node that bootstraps successfully ends byte-identical to the
+        serving peer — the paper's determinism property, exercised across a
+        whole chain.  The node must be freshly constructed (no local blocks)
+        and its mainchain view must already cover the referenced heights.
+        """
+        if self.blocks:
+            raise ConsensusError("bootstrap requires a fresh node")
+        # record the MC blocks the history will reference so that epoch
+        # boundary lookups and reorg detection work afterwards
+        for height in range(self.config.start_block, self.mc.height + 1):
+            mc_block = self.mc.chain.block_at_height(height)
+            self.synced_mc.append((height, mc_block.hash))
+            self.mc_queue.append(mc_block)
+        for block in blocks:
+            self.receive_block(block)
+
+    def receive_block(self, block: SidechainBlock) -> None:
+        """Validate and apply a block forged by another node.
+
+        Raises :class:`ConsensusError` on any rule violation.  The block must
+        directly extend this node's tip (the harness delivers blocks in
+        order; full SC fork choice is in
+        :mod:`repro.latus.consensus.fork_choice`).
+        """
+        if block.parent_hash != self.tip_hash:
+            raise ConsensusError("block does not extend the local tip")
+        if block.height != self.height + 1:
+            raise ConsensusError("wrong block height")
+        if not block.verify_signature():
+            raise ConsensusError("bad forger signature")
+
+        slot = block.slot
+        consensus_epoch = slot // self.params.slots_per_epoch
+        self._ensure_consensus_epoch(consensus_epoch)
+        schedule = self.leader_schedule(consensus_epoch)
+        if not schedule.is_leader(
+            block.forger_addr, slot % self.params.slots_per_epoch
+        ):
+            raise ConsensusError("forger is not the slot leader")
+
+        expected_height = self.last_referenced_mc_height + 1
+        for ref in block.mc_refs:
+            if ref.mc_height != expected_height:
+                raise ConsensusError("MC references are not contiguous")
+            verify_mc_ref(ref, self.ledger_id)
+            expected_height += 1
+
+        working = self.state
+        for tx in block.ordered_transitions():
+            working.apply(tx)  # raises StateTransitionError on invalidity
+            self._index_transition(tx)
+        if working.digest() != block.state_digest:
+            raise ConsensusError("state digest mismatch")
+
+        self.blocks.append(block)
+        self.included_txids.update(tx.txid for tx in block.transactions)
+        if block.mc_refs:
+            self.last_referenced_mc_height = block.mc_refs[-1].mc_height
+            # these MC blocks no longer await a local reference
+            covered = {ref.mc_height for ref in block.mc_refs}
+            self.mc_queue = [b for b in self.mc_queue if b.height not in covered]
+        self.epoch.transitions.extend(block.ordered_transitions())
+        self.epoch.referenced_mc_hashes.extend(
+            ref.mc_block_hash for ref in block.mc_refs
+        )
+        if (
+            block.mc_refs
+            and block.mc_refs[-1].mc_height
+            == self.config.schedule.last_height(self.epoch.epoch_id)
+        ):
+            self._close_withdrawal_epoch(block)
+        self._capture_snapshot()
+
+
+def _ref_transitions(ref: MCBlockReference) -> list[LatusTransaction]:
+    transitions: list[LatusTransaction] = []
+    if ref.forward_transfers is not None:
+        transitions.append(ref.forward_transfers)
+    if ref.bt_requests is not None:
+        transitions.append(ref.bt_requests)
+    return transitions

@@ -1,0 +1,238 @@
+"""Distributed proof generation with incentives (paper §5.4.1).
+
+The paper flags proving as too heavy for forgers alone and sketches the
+mitigation: "a special dispatching scheme that assigns generation of proofs
+randomly to interested parties who then do these tasks in parallel and
+submit generated proofs ... An incentive scheme provides a reward for each
+valid submission."  This module implements that sketch:
+
+* a :class:`ProofDispatcher` deterministically (seed-based) assigns each
+  base transition of an epoch to a registered worker;
+* workers prove their assignments independently (simulated wall-clock is
+  tracked per worker, so the parallel speedup is measurable);
+* the dispatcher validates every submission — an invalid or missing proof
+  is reassigned and the offending worker forfeits the reward;
+* merge levels are likewise distributed, level by level;
+* rewards accrue per *valid* submission and are paid as an itemized
+  :class:`RewardStatement`.
+
+Everything is deterministic: assignment comes from hashing the epoch seed
+with the task index, which is the randomness stand-in used throughout the
+reproduction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.crypto.hashing import hash_bytes
+from repro.encoding import Encoder
+from repro.errors import SnarkError
+from repro.latus.proofs import LatusTransitionSystem
+from repro.latus.state import LatusState
+from repro.latus.transactions import LatusTransaction
+from repro.snark.recursive import RecursiveComposer, TransitionProof
+
+
+@dataclass
+class ProofWorker:
+    """One proving participant: an identity plus its work accounting."""
+
+    name: str
+    #: Simulated misbehaviour: fraction denominator; every ``fail_every``-th
+    #: task this worker is assigned, it returns garbage (0 = always honest).
+    fail_every: int = 0
+    proofs_produced: int = 0
+    proofs_rejected: int = 0
+    busy_seconds: float = 0.0
+    _task_counter: int = field(default=0, repr=False)
+
+    def should_fail(self) -> bool:
+        self._task_counter += 1
+        return self.fail_every > 0 and self._task_counter % self.fail_every == 0
+
+
+@dataclass(frozen=True)
+class RewardStatement:
+    """The itemized payout of one dispatched epoch."""
+
+    per_proof_reward: int
+    rewards: dict[str, int]
+    rejected: dict[str, int]
+
+    @property
+    def total_paid(self) -> int:
+        return sum(self.rewards.values())
+
+
+@dataclass(frozen=True)
+class DispatchResult:
+    """Outcome of distributed epoch proving."""
+
+    proof: TransitionProof
+    final_state: LatusState
+    statement: RewardStatement
+    base_tasks: int
+    merge_tasks: int
+    #: Wall-clock if all work ran sequentially.
+    sequential_seconds: float
+    #: Wall-clock with perfect parallelism: max busy time per level, summed.
+    parallel_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """The §5.4.1 payoff: sequential / parallel time."""
+        if self.parallel_seconds <= 0:
+            return 1.0
+        return self.sequential_seconds / self.parallel_seconds
+
+
+class ProofDispatcher:
+    """Assigns, validates and rewards distributed proof generation."""
+
+    def __init__(
+        self,
+        workers: list[ProofWorker],
+        seed: bytes = b"proof-market",
+        per_proof_reward: int = 10,
+    ) -> None:
+        if not workers:
+            raise SnarkError("at least one worker is required")
+        honest = [w for w in workers if w.fail_every != 1]
+        if not honest:
+            raise SnarkError("at least one worker must be capable of honesty")
+        self.workers = workers
+        self.seed = seed
+        self.per_proof_reward = per_proof_reward
+        self.composer = RecursiveComposer(LatusTransitionSystem())
+
+    # -- assignment ---------------------------------------------------------------
+
+    def _assign(self, level: int, index: int, attempt: int) -> ProofWorker:
+        material = (
+            Encoder().raw(self.seed).u32(level).u32(index).u32(attempt).done()
+        )
+        digest = hash_bytes(material, b"proof-market/assign")
+        return self.workers[int.from_bytes(digest[:4], "little") % len(self.workers)]
+
+    # -- proving ---------------------------------------------------------------------
+
+    def prove_epoch(
+        self, start_state: LatusState, transitions: list[LatusTransaction]
+    ) -> DispatchResult:
+        """Distribute the epoch's proof tree across the worker pool.
+
+        Raises :class:`SnarkError` if the epoch cannot be proven at all
+        (e.g. an invalid transition) — worker misbehaviour alone never
+        fails the epoch, it only reassigns tasks.
+        """
+        if not transitions:
+            raise SnarkError("empty epochs are proven by the heartbeat path")
+        rewards = {w.name: 0 for w in self.workers}
+        rejected = {w.name: 0 for w in self.workers}
+        sequential = 0.0
+        parallel = 0.0
+        merge_tasks = 0
+
+        # --- level 0: base proofs, one per transition, in parallel
+        level_busy: dict[str, float] = {}
+        proofs: list[TransitionProof] = []
+        state = start_state
+        for index, transition in enumerate(transitions):
+            proof, state, elapsed = self._run_base_task(
+                0, index, state, transition, rewards, rejected
+            )
+            proofs.append(proof)
+            sequential += elapsed[0]
+            # only the honest completion occupies the worker's parallel lane
+            for name, seconds in elapsed[1].items():
+                level_busy[name] = level_busy.get(name, 0.0) + seconds
+        parallel += max(level_busy.values(), default=0.0)
+
+        # --- merge levels, pairwise, each level in parallel
+        level = 1
+        while len(proofs) > 1:
+            level_busy = {}
+            next_proofs = []
+            for index in range(0, len(proofs) - 1, 2):
+                merged, elapsed = self._run_merge_task(
+                    level,
+                    index // 2,
+                    proofs[index],
+                    proofs[index + 1],
+                    rewards,
+                    rejected,
+                )
+                next_proofs.append(merged)
+                merge_tasks += 1
+                sequential += elapsed[0]
+                for name, seconds in elapsed[1].items():
+                    level_busy[name] = level_busy.get(name, 0.0) + seconds
+            if len(proofs) % 2 == 1:
+                next_proofs.append(proofs[-1])
+            parallel += max(level_busy.values(), default=0.0)
+            proofs = next_proofs
+            level += 1
+
+        statement = RewardStatement(
+            per_proof_reward=self.per_proof_reward,
+            rewards=rewards,
+            rejected=rejected,
+        )
+        return DispatchResult(
+            proof=proofs[0],
+            final_state=state,
+            statement=statement,
+            base_tasks=len(transitions),
+            merge_tasks=merge_tasks,
+            sequential_seconds=sequential,
+            parallel_seconds=parallel,
+        )
+
+    # -- task execution ------------------------------------------------------------------
+
+    def _run_base_task(self, level, index, state, transition, rewards, rejected):
+        total = 0.0
+        per_worker: dict[str, float] = {}
+        for attempt in range(4 * len(self.workers)):
+            worker = self._assign(level, index, attempt)
+            started = time.perf_counter()
+            if worker.should_fail():
+                # a lazy/malicious worker ships garbage: one flipped byte
+                candidate = None
+            else:
+                candidate, next_state = self.composer.prove_base(state, transition)
+            elapsed = time.perf_counter() - started
+            total += elapsed
+            per_worker[worker.name] = per_worker.get(worker.name, 0.0) + elapsed
+            worker.busy_seconds += elapsed
+            if candidate is not None and self.composer.verify(candidate):
+                worker.proofs_produced += 1
+                rewards[worker.name] += self.per_proof_reward
+                return candidate, next_state, (total, per_worker)
+            worker.proofs_rejected += 1
+            rejected[worker.name] += 1
+        raise SnarkError(f"no worker produced a valid base proof for task {index}")
+
+    def _run_merge_task(self, level, index, left, right, rewards, rejected):
+        total = 0.0
+        per_worker: dict[str, float] = {}
+        for attempt in range(4 * len(self.workers)):
+            worker = self._assign(level, index, attempt)
+            started = time.perf_counter()
+            if worker.should_fail():
+                candidate = None
+            else:
+                candidate = self.composer.merge(left, right)
+            elapsed = time.perf_counter() - started
+            total += elapsed
+            per_worker[worker.name] = per_worker.get(worker.name, 0.0) + elapsed
+            worker.busy_seconds += elapsed
+            if candidate is not None and self.composer.verify(candidate):
+                worker.proofs_produced += 1
+                rewards[worker.name] += self.per_proof_reward
+                return candidate, (total, per_worker)
+            worker.proofs_rejected += 1
+            rejected[worker.name] += 1
+        raise SnarkError(f"no worker produced a valid merge proof at level {level}")

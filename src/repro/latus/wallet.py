@@ -1,0 +1,111 @@
+"""A simple Latus wallet: key management, coin selection, tx building."""
+
+from __future__ import annotations
+
+from repro.core.transfers import BackwardTransfer
+from repro.crypto.keys import KeyPair
+from repro.errors import LatusError
+from repro.latus.node import LatusNode
+from repro.latus.transactions import (
+    BackwardTransferTx,
+    PaymentTx,
+    sign_backward_transfer,
+    sign_payment,
+)
+from repro.latus.utxo import Utxo, address_to_field, derive_nonce
+
+
+class LatusWallet:
+    """Tracks one key pair's coins on a Latus node and builds transactions."""
+
+    def __init__(self, node: LatusNode, keypair: KeyPair) -> None:
+        self.node = node
+        self.keypair = keypair
+        self.address_field = address_to_field(keypair.address)
+        self._nonce_counter = 0
+
+    # -- queries ----------------------------------------------------------------
+
+    def utxos(self) -> list[Utxo]:
+        """All currently unspent outputs owned by this wallet."""
+        return [
+            u for u in self.node.utxo_index.values() if u.addr == self.address_field
+        ]
+
+    def balance(self) -> int:
+        """Total spendable coins."""
+        return sum(u.amount for u in self.utxos())
+
+    # -- coin selection ------------------------------------------------------------
+
+    def _select(self, amount: int) -> list[Utxo]:
+        selected: list[Utxo] = []
+        total = 0
+        for utxo in sorted(self.utxos(), key=lambda u: (-u.amount, u.nonce)):
+            selected.append(utxo)
+            total += utxo.amount
+            if total >= amount:
+                return selected
+        raise LatusError(f"insufficient funds: have {total}, need {amount}")
+
+    def _fresh_nonce(self, salt: bytes) -> int:
+        self._nonce_counter += 1
+        return derive_nonce(
+            self.keypair.address, salt, self._nonce_counter.to_bytes(8, "little")
+        )
+
+    # -- transaction building ----------------------------------------------------------
+
+    def pay(self, receiver_addr: bytes, amount: int, fee: int = 0) -> PaymentTx:
+        """Build, sign and submit a payment of ``amount`` to ``receiver_addr``.
+
+        ``receiver_addr`` is a 32-byte address (as produced by
+        :class:`~repro.crypto.keys.KeyPair`).
+        """
+        if amount <= 0:
+            raise LatusError("payment amount must be positive")
+        inputs = self._select(amount + fee)
+        total_in = sum(u.amount for u in inputs)
+        outputs = [
+            Utxo(
+                addr=address_to_field(receiver_addr),
+                amount=amount,
+                nonce=self._fresh_nonce(b"pay"),
+            )
+        ]
+        change = total_in - amount - fee
+        if change > 0:
+            outputs.append(
+                Utxo(
+                    addr=self.address_field,
+                    amount=change,
+                    nonce=self._fresh_nonce(b"change"),
+                )
+            )
+        tx = sign_payment([(u, self.keypair) for u in inputs], outputs)
+        self.node.submit_transaction(tx)
+        return tx
+
+    def withdraw(self, mc_receiver_addr: bytes, amount: int) -> BackwardTransferTx:
+        """Build, sign and submit a backward transfer to a mainchain address.
+
+        A BTTx has no sidechain outputs (§5.3.3): all input value leaves the
+        sidechain.  When selected coins exceed ``amount``, the surplus is
+        withdrawn too, as a second backward transfer to the same mainchain
+        receiver (callers wanting exact change should split with
+        :meth:`pay` first).
+        """
+        if amount <= 0:
+            raise LatusError("withdrawal amount must be positive")
+        inputs = self._select(amount)
+        total_in = sum(u.amount for u in inputs)
+        bts = [BackwardTransfer(receiver_addr=mc_receiver_addr, amount=amount)]
+        if total_in > amount:
+            bts.append(
+                BackwardTransfer(
+                    receiver_addr=mc_receiver_addr, amount=total_in - amount
+                )
+            )
+        tx = sign_backward_transfer([(u, self.keypair) for u in inputs], bts)
+        self.node.submit_transaction(tx)
+        return tx

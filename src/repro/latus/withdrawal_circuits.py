@@ -1,0 +1,180 @@
+"""Latus BTR and CSW circuits (paper §5.5.3.2 / §5.5.3.3).
+
+Both operations prove, against the public input
+``(H(Bw), nullifier, receiver, amount, MH(proofdata))``, the statement box
+of §5.5.3.2:
+
+* the claimed UTXO is present in the sidechain MST committed by the last
+  withdrawal certificate (real R1CS: MiMC leaf recomputation + Merkle path
+  to the committed root);
+* the submitter owns the UTXO (Schnorr signature over the withdrawal
+  message — native check, see DESIGN.md §4);
+* ``amount`` equals the UTXO amount and ``nullifier`` is the hash of the
+  UTXO (both enforced in-circuit);
+* ``H(Bw)`` is the MC block carrying the anchoring certificate (native
+  structural check against the witness's copy of that block).
+
+The CSW circuit is "technically completely the same" (§5.5.3.3); it only
+differs in its circuit id (hence its verification key) and in when the
+mainchain accepts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.transfers import WithdrawalCertificate
+from repro.crypto.field import element_from_bytes
+from repro.crypto.fixed_merkle import FieldMerkleProof
+from repro.crypto.hashing import hash_bytes
+from repro.crypto.keys import KeyPair, address_of
+from repro.crypto.signatures import PublicKey, Signature
+from repro.encoding import Encoder
+from repro.latus.utxo import Utxo, address_to_field
+from repro.mainchain.block import Block as MainchainBlock
+from repro.mainchain.transaction import CertificateTx
+from repro.snark.circuit import Circuit, CircuitBuilder
+from repro.snark.gadgets.arith import AMOUNT_BITS
+from repro.snark.gadgets.merkle import enforce_merkle_membership
+from repro.snark.gadgets.mimc import mimc_hash_gadget
+
+_AUTH_DOMAIN = b"latus/withdrawal-auth"
+
+
+def withdrawal_auth_message(
+    ledger_id: bytes, utxo: Utxo, receiver: bytes
+) -> bytes:
+    """The message a UTXO owner signs to authorize a BTR/CSW."""
+    material = (
+        Encoder()
+        .raw(ledger_id)
+        .var_bytes(utxo.encode())
+        .var_bytes(receiver)
+        .done()
+    )
+    return hash_bytes(material, _AUTH_DOMAIN)
+
+
+@dataclass(frozen=True)
+class WithdrawalWitness:
+    """The private inputs of a BTR/CSW proof."""
+
+    utxo: Utxo
+    #: Merkle path from the UTXO to the certificate-committed MST root.
+    mst_proof: FieldMerkleProof
+    #: The MST root committed by the anchoring certificate's proofdata.
+    committed_mst_root: int
+    #: The MC block that carried the anchoring certificate (``Bw``).
+    anchor_block: MainchainBlock
+    #: The anchoring certificate itself (must be inside ``anchor_block``).
+    anchor_cert: WithdrawalCertificate
+    owner_pubkey: PublicKey
+    signature: Signature
+    receiver: bytes
+    ledger_id: bytes
+
+
+class _WithdrawalCircuitBase(Circuit):
+    """Shared synthesis for the BTR and CSW statements."""
+
+    def synthesize(
+        self,
+        builder: CircuitBuilder,
+        public_input: Sequence[int],
+        witness: WithdrawalWitness,
+    ) -> None:
+        h_bw, nullifier, receiver_fe, amount, mh_proofdata = public_input
+        h_bw_wire = builder.alloc_public(h_bw)
+        nullifier_wire = builder.alloc_public(nullifier)
+        receiver_wire = builder.alloc_public(receiver_fe)
+        amount_wire = builder.alloc_public(amount)
+
+        utxo = witness.utxo
+
+        # --- amount equality + range (in-circuit).
+        builder.enforce_range(amount_wire, AMOUNT_BITS, "withdrawal/amount-range")
+        utxo_amount = builder.alloc(utxo.amount)
+        builder.enforce_equal(amount_wire, utxo_amount, "withdrawal/amount")
+
+        # --- nullifier = MiMC(utxo) = the MST leaf value (in-circuit).
+        addr_wire = builder.alloc(utxo.addr)
+        nonce_wire = builder.alloc(utxo.nonce)
+        leaf = mimc_hash_gadget(builder, [addr_wire, utxo_amount, nonce_wire])
+        builder.enforce_equal(leaf, nullifier_wire, "withdrawal/nullifier")
+
+        # --- MST membership against the committed root (in-circuit).
+        root_wire = builder.alloc(witness.committed_mst_root)
+        builder.assert_native(
+            witness.mst_proof.position == utxo.position(witness.mst_proof.depth),
+            "withdrawal: proof position does not match MST_Position(utxo)",
+        )
+        enforce_merkle_membership(builder, witness.mst_proof, root_wire, leaf=leaf)
+
+        # --- anchoring: the root is the one committed by the certificate in
+        # block Bw (structural native checks over the witness's MC data).
+        builder.assert_native(
+            element_from_bytes(witness.anchor_block.hash) == h_bw_wire.value,
+            "withdrawal: anchor block does not match H(Bw)",
+        )
+        builder.assert_native(
+            any(
+                isinstance(tx, CertificateTx) and tx.wcert.id == witness.anchor_cert.id
+                for tx in witness.anchor_block.transactions
+            ),
+            "withdrawal: anchoring certificate not in the anchor block",
+        )
+        builder.assert_native(
+            witness.anchor_cert.ledger_id == witness.ledger_id,
+            "withdrawal: anchoring certificate is for a different sidechain",
+        )
+        builder.assert_native(
+            len(witness.anchor_cert.proofdata) == 3
+            and witness.anchor_cert.proofdata[1] == witness.committed_mst_root,
+            "withdrawal: certificate does not commit to the claimed MST root",
+        )
+
+        # --- ownership (native: signature + address binding).
+        builder.assert_native(
+            address_to_field(address_of(witness.owner_pubkey)) == utxo.addr,
+            "withdrawal: pubkey does not own the utxo",
+        )
+        message = withdrawal_auth_message(
+            witness.ledger_id, utxo, witness.receiver
+        )
+        builder.assert_native(
+            witness.owner_pubkey.verify(message, witness.signature),
+            "withdrawal: bad authorization signature",
+        )
+
+        # --- receiver binding (the MC hashes the raw receiver into sysdata).
+        builder.assert_native(
+            element_from_bytes(hash_bytes(witness.receiver, b"zendoo/receiver"))
+            == receiver_wire.value,
+            "withdrawal: receiver binding mismatch",
+        )
+
+        # --- proofdata binding: Latus BTR/CSW proofdata is the utxo triple;
+        # recompute MH(proofdata) in-circuit.
+        recomputed = mimc_hash_gadget(builder, [addr_wire, utxo_amount, nonce_wire])
+        mh_wire = builder.alloc_public(mh_proofdata)
+        builder.enforce_equal(recomputed, mh_wire, "withdrawal/mh-proofdata")
+
+
+class LatusBtrCircuit(_WithdrawalCircuitBase):
+    """The backward-transfer-request statement (§5.5.3.2)."""
+
+    circuit_id = "latus/btr-v1"
+
+
+class LatusCswCircuit(_WithdrawalCircuitBase):
+    """The ceased-sidechain-withdrawal statement (§5.5.3.3)."""
+
+    circuit_id = "latus/csw-v1"
+
+
+def sign_withdrawal(
+    ledger_id: bytes, utxo: Utxo, receiver: bytes, owner: KeyPair
+) -> Signature:
+    """Authorize a BTR/CSW for ``utxo`` paying ``receiver`` on the MC."""
+    return owner.sign(withdrawal_auth_message(ledger_id, utxo, receiver))

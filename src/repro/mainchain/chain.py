@@ -1,0 +1,376 @@
+"""Chain state, block connection, fork choice and reorgs.
+
+:class:`MainchainState` is the stateful view at one block: the UTXO set,
+the CCTP state, pending certificate payouts and the active-chain hash list.
+:class:`Blockchain` stores all blocks, keeps a validated state snapshot per
+block, and performs cumulative-work fork choice — a heavier fork replaces
+the active chain, which is exactly the reorg behaviour the Latus binding
+(§5.1) must react to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cctp import CctpState
+from repro.core.transfers import WithdrawalCertificate
+from repro.crypto.hashing import NULL_DIGEST, hash_bytes
+from repro.errors import (
+    DoubleSpend,
+    InsufficientFunds,
+    OrphanBlock,
+    UnknownBlock,
+    ValidationError,
+)
+from repro.mainchain.block import Block, BlockHeader
+from repro.mainchain.params import MainchainParams
+from repro.mainchain.pow import block_work
+from repro.mainchain.transaction import (
+    BtrTx,
+    CertificateTx,
+    CoinTransaction,
+    CswTx,
+    SidechainDeclarationTx,
+    Transaction,
+    input_owner_matches,
+    verify_input_signatures,
+)
+from repro.mainchain.utxo import Coin, Outpoint, TxOutput, UTXOSet
+from repro.mainchain.validation import validate_block_structure
+
+
+@dataclass(frozen=True)
+class PendingPayout:
+    """A certificate payout waiting for the end of the submission window."""
+
+    outpoint: Outpoint
+    output: TxOutput
+    maturity_height: int
+    ledger_id: bytes
+
+
+class MainchainState:
+    """The full validated state after connecting some chain of blocks."""
+
+    def __init__(self, params: MainchainParams) -> None:
+        self.params = params
+        self.utxos = UTXOSet()
+        self.cctp = CctpState()
+        self.height = -1
+        self.block_hashes: list[bytes] = []
+        # cert id -> payouts not yet matured into the UTXO set
+        self.pending_payouts: dict[bytes, list[PendingPayout]] = {}
+
+    def copy(self) -> "MainchainState":
+        """Independent snapshot used to validate fork branches."""
+        clone = MainchainState(self.params)
+        clone.utxos = self.utxos.copy()
+        clone.cctp = self.cctp.copy()
+        clone.height = self.height
+        clone.block_hashes = list(self.block_hashes)
+        clone.pending_payouts = {k: list(v) for k, v in self.pending_payouts.items()}
+        return clone
+
+    def block_hash_at(self, height: int) -> bytes:
+        """Active-chain block hash at ``height``."""
+        if not 0 <= height <= self.height:
+            raise UnknownBlock(f"no active block at height {height}")
+        return self.block_hashes[height]
+
+    # -- block connection ---------------------------------------------------------
+
+    def connect_block(self, block: Block) -> None:
+        """Validate ``block`` statefully and apply it; raises on any rule break.
+
+        The caller guarantees context-free validity and correct parent
+        linkage; on exception the state must be discarded (connection is not
+        atomic).
+        """
+        if block.height != self.height + 1:
+            raise ValidationError(
+                f"block height {block.height} does not extend state height {self.height}"
+            )
+        if self.block_hashes and block.header.prev_hash != self.block_hashes[-1]:
+            raise ValidationError("block does not extend the state tip")
+
+        height = block.height
+        # Ceasing deadlines fire before any transaction of this block — a
+        # certificate arriving at the deadline height is already late.
+        self.cctp.advance_to_height(height)
+        self._mature_payouts(height)
+
+        fees = 0
+        coinbase = block.transactions[0]
+        for tx in block.transactions[1:]:
+            fees += self._connect_transaction(tx, block)
+        self._connect_coinbase(coinbase, fees, height)
+
+        self.height = height
+        self.block_hashes.append(block.hash)
+
+    def _mature_payouts(self, height: int) -> None:
+        for cert_id in list(self.pending_payouts):
+            payouts = self.pending_payouts[cert_id]
+            if payouts and payouts[0].maturity_height <= height:
+                for payout in payouts:
+                    self.utxos.add(
+                        payout.outpoint,
+                        Coin(
+                            output=payout.output,
+                            created_height=height,
+                            maturity_height=payout.maturity_height,
+                        ),
+                    )
+                del self.pending_payouts[cert_id]
+
+    def _connect_coinbase(self, tx: CoinTransaction, fees: int, height: int) -> None:
+        allowed = self.params.block_reward + fees
+        minted = sum(o.amount for o in tx.outputs)
+        if minted > allowed:
+            raise ValidationError(
+                f"coinbase mints {minted} but only {allowed} is allowed"
+            )
+        if tx.forward_transfers:
+            raise ValidationError("coinbase cannot carry forward transfers")
+        self._create_outputs(tx, height, maturity=height + self.params.coinbase_maturity)
+
+    def _connect_transaction(self, tx: Transaction, block: Block) -> int:
+        """Apply one non-coinbase transaction; returns the fee it pays."""
+        height = block.height
+        if isinstance(tx, CoinTransaction):
+            return self._connect_coin_tx(tx, height)
+        if isinstance(tx, SidechainDeclarationTx):
+            self.cctp.register_sidechain(tx.config, height)
+            return 0
+        if isinstance(tx, CertificateTx):
+            self._connect_certificate(tx.wcert, height, block.hash)
+            return 0
+        if isinstance(tx, BtrTx):
+            for request in tx.requests:
+                self.cctp.process_btr(request, height)
+            return 0
+        if isinstance(tx, CswTx):
+            receiver, amount = self.cctp.process_csw(tx.csw, height)
+            self.utxos.add(
+                Outpoint(txid=tx.txid, index=0),
+                Coin(
+                    output=TxOutput(addr=receiver, amount=amount),
+                    created_height=height,
+                ),
+            )
+            return 0
+        raise ValidationError(f"unknown transaction type {type(tx).__name__}")
+
+    def _connect_coin_tx(self, tx: CoinTransaction, height: int) -> int:
+        if not verify_input_signatures(tx):
+            raise ValidationError("bad input signature")
+        total_in = 0
+        spent_coins = []
+        for inp in tx.inputs:
+            coin = self.utxos.get(inp.outpoint)
+            if coin is None:
+                raise DoubleSpend("input is unknown or already spent")
+            if not coin.spendable_at(height):
+                raise ValidationError("input is not yet mature")
+            if not input_owner_matches(inp, coin.output.addr):
+                raise ValidationError("input pubkey does not own the spent output")
+            total_in += coin.output.amount
+            spent_coins.append(inp.outpoint)
+        if total_in < tx.output_total:
+            raise InsufficientFunds(
+                f"inputs {total_in} < outputs {tx.output_total}"
+            )
+        # Forward transfers are validated by the CCTP (active target, amount).
+        for ft in tx.forward_transfers:
+            self.cctp.process_forward_transfer(ft, height)
+        for outpoint in spent_coins:
+            self.utxos.spend(outpoint)
+        self._create_outputs(tx, height, maturity=0)
+        return total_in - tx.output_total
+
+    def _create_outputs(self, tx: CoinTransaction, height: int, maturity: int) -> None:
+        for index, output in enumerate(tx.outputs):
+            self.utxos.add(
+                Outpoint(txid=tx.txid, index=index),
+                Coin(output=output, created_height=height, maturity_height=maturity),
+            )
+
+    def _connect_certificate(
+        self, wcert: WithdrawalCertificate, height: int, block_hash: bytes
+    ) -> None:
+        superseded = self.cctp.process_certificate(
+            wcert, height, block_hash, self.block_hash_at
+        )
+        if superseded is not None:
+            self.pending_payouts.pop(superseded.id, None)
+        schedule = self.cctp.entry(wcert.ledger_id).config.schedule
+        maturity = schedule.ceasing_height(wcert.epoch_id)
+        if not wcert.bt_list:
+            return
+        self.pending_payouts[wcert.id] = [
+            PendingPayout(
+                outpoint=Outpoint(txid=wcert.id, index=index),
+                output=TxOutput(addr=bt.receiver_addr, amount=bt.amount),
+                maturity_height=maturity,
+                ledger_id=wcert.ledger_id,
+            )
+            for index, bt in enumerate(wcert.bt_list)
+        ]
+
+
+@dataclass
+class _BlockRecord:
+    block: Block
+    cumulative_work: int
+    state: MainchainState
+
+
+class Blockchain:
+    """Block store with per-block validated states and work-based fork choice."""
+
+    def __init__(self, params: MainchainParams | None = None) -> None:
+        self.params = params or MainchainParams()
+        genesis = _make_genesis(self.params)
+        genesis_state = MainchainState(self.params)
+        genesis_state.height = 0
+        genesis_state.block_hashes = [genesis.hash]
+        self._records: dict[bytes, _BlockRecord] = {
+            genesis.hash: _BlockRecord(
+                block=genesis, cumulative_work=0, state=genesis_state
+            )
+        }
+        self.genesis = genesis
+        self._active_tip = genesis.hash
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def tip(self) -> Block:
+        """The active-chain tip block."""
+        return self._records[self._active_tip].block
+
+    @property
+    def height(self) -> int:
+        """The active-chain height."""
+        return self.tip.height
+
+    @property
+    def state(self) -> MainchainState:
+        """The validated state at the active tip (do not mutate)."""
+        return self._records[self._active_tip].state
+
+    def block(self, block_hash: bytes) -> Block:
+        """Look up a block by hash."""
+        try:
+            return self._records[block_hash].block
+        except KeyError:
+            raise UnknownBlock(f"unknown block {block_hash.hex()[:16]}")
+
+    def has_block(self, block_hash: bytes) -> bool:
+        """True when the block is stored (on any branch)."""
+        return block_hash in self._records
+
+    def block_at_height(self, height: int) -> Block:
+        """The active-chain block at ``height``."""
+        return self.block(self.state.block_hash_at(height))
+
+    def active_chain(self) -> list[Block]:
+        """All active-chain blocks, genesis first."""
+        return [self.block(h) for h in self.state.block_hashes]
+
+    def cumulative_work(self, block_hash: bytes) -> int:
+        """Total work of the chain ending at ``block_hash``."""
+        return self._records[block_hash].cumulative_work
+
+    def next_target_bits(self, parent_hash: bytes) -> int:
+        """The required difficulty for a block extending ``parent_hash``.
+
+        With retargeting disabled this is the fixed ``pow_zero_bits``.  With
+        retargeting, every ``retarget_interval`` blocks the target moves by
+        at most one bit: harder when the last interval's timestamps span
+        less than half the intended time, easier (down to 1 bit) when they
+        span more than double.
+        """
+        interval = self.params.retarget_interval
+        parent = self._records.get(parent_hash)
+        if parent is None:
+            raise UnknownBlock(f"unknown parent {parent_hash.hex()[:16]}")
+        if interval == 0:
+            return self.params.pow_zero_bits
+        parent_bits = (
+            parent.block.header.target_bits
+            if parent.block.height > 0
+            else self.params.pow_zero_bits
+        )
+        next_height = parent.block.height + 1
+        if next_height % interval != 0 or next_height < interval:
+            return parent_bits
+        # walk back `interval` blocks along this branch
+        cursor = parent
+        for _ in range(interval - 1):
+            cursor = self._records[cursor.block.header.prev_hash]
+        span = parent.block.header.timestamp - cursor.block.header.timestamp
+        expected = self.params.target_block_spacing * (interval - 1)
+        if span * 2 < expected:
+            return parent_bits + 1
+        if span > expected * 2:
+            return max(1, parent_bits - 1)
+        return parent_bits
+
+    # -- extension ---------------------------------------------------------------
+
+    def add_block(self, block: Block) -> bool:
+        """Validate and store ``block``; returns True when it becomes the tip.
+
+        Raises :class:`OrphanBlock` when the parent is unknown and
+        :class:`ValidationError` (or a CCTP error) when invalid.  Fork choice
+        is by cumulative work with first-seen tie breaking.
+        """
+        if block.hash in self._records:
+            return block.hash == self._active_tip
+        parent = self._records.get(block.header.prev_hash)
+        if parent is None:
+            raise OrphanBlock(
+                f"parent {block.header.prev_hash.hex()[:16]} is unknown"
+            )
+        if block.height != parent.block.height + 1:
+            raise ValidationError("block height does not follow its parent")
+        required_bits = self.next_target_bits(block.header.prev_hash)
+        if block.header.target_bits != required_bits:
+            raise ValidationError(
+                f"wrong difficulty: block declares {block.header.target_bits} "
+                f"zero bits, chain requires {required_bits}"
+            )
+        validate_block_structure(block, self.params)
+
+        state = parent.state.copy()
+        state.connect_block(block)  # raises on stateful invalidity
+
+        work = parent.cumulative_work + block_work(block.header.target_bits)
+        self._records[block.hash] = _BlockRecord(
+            block=block, cumulative_work=work, state=state
+        )
+        if work > self._records[self._active_tip].cumulative_work:
+            self._active_tip = block.hash
+            return True
+        return False
+
+    def state_at(self, block_hash: bytes) -> MainchainState:
+        """The validated state after ``block_hash`` (any branch; do not mutate)."""
+        try:
+            return self._records[block_hash].state
+        except KeyError:
+            raise UnknownBlock(f"unknown block {block_hash.hex()[:16]}")
+
+
+def _make_genesis(params: MainchainParams) -> Block:
+    header = BlockHeader(
+        prev_hash=hash_bytes(params.network_tag, b"zendoo/genesis"),
+        height=0,
+        merkle_root=NULL_DIGEST,
+        sc_txs_commitment=NULL_DIGEST,
+        timestamp=0,
+        target_bits=params.pow_zero_bits,
+        nonce=0,
+    )
+    return Block(header=header, transactions=())

@@ -1,0 +1,52 @@
+"""A minimal transaction mempool.
+
+Keeps submission order (the mainchain's first-seen tie-breaking for equal
+quality certificates relies on it), rejects duplicate ids, and drops
+transactions that made it into a connected block.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.mainchain.transaction import Transaction
+
+
+class Mempool:
+    """FIFO pool of pending transactions keyed by txid."""
+
+    def __init__(self) -> None:
+        self._txs: dict[bytes, Transaction] = {}
+
+    def __len__(self) -> int:
+        return len(self._txs)
+
+    def __contains__(self, txid: bytes) -> bool:
+        return txid in self._txs
+
+    def submit(self, tx: Transaction) -> None:
+        """Queue a transaction; duplicates are rejected."""
+        if tx.txid in self._txs:
+            raise ValidationError("transaction already in the mempool")
+        self._txs[tx.txid] = tx
+
+    def take(self, limit: int) -> list[Transaction]:
+        """The first ``limit`` pending transactions (not removed)."""
+        result = []
+        for tx in self._txs.values():
+            if len(result) >= limit:
+                break
+            result.append(tx)
+        return result
+
+    def remove(self, txid: bytes) -> None:
+        """Drop a transaction if present."""
+        self._txs.pop(txid, None)
+
+    def remove_confirmed(self, txs) -> None:
+        """Drop every transaction that appears in ``txs``."""
+        for tx in txs:
+            self.remove(tx.txid)
+
+    def clear(self) -> None:
+        """Drop everything."""
+        self._txs.clear()

@@ -1,0 +1,122 @@
+"""A mainchain full node: chain + mempool + block template miner.
+
+This is the top-level mainchain API used by examples and by the Latus
+sidechain nodes observing the mainchain.  Mining assembles a candidate
+block from the mempool, *pre-connects* it against a state copy so an
+invalid mempool transaction can be dropped rather than poisoning the block,
+computes the sidechain-transactions commitment, and grinds the proof of
+work.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError, ZendooError
+from repro.mainchain.block import Block, BlockHeader, transactions_merkle_root
+from repro.mainchain.chain import Blockchain, MainchainState
+from repro.mainchain.mempool import Mempool
+from repro.mainchain.params import MainchainParams
+from repro.mainchain.pow import mine_header
+from repro.mainchain.transaction import Transaction, make_coinbase
+from repro.mainchain.validation import compute_sc_txs_commitment
+
+
+class MainchainNode:
+    """A self-contained mainchain node."""
+
+    def __init__(self, params: MainchainParams | None = None) -> None:
+        self.params = params or MainchainParams()
+        self.chain = Blockchain(self.params)
+        self.mempool = Mempool()
+        self._clock = 0
+
+    # -- convenience accessors ------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Active-chain height."""
+        return self.chain.height
+
+    @property
+    def state(self) -> MainchainState:
+        """Validated state at the tip (read-only)."""
+        return self.chain.state
+
+    def submit_transaction(self, tx: Transaction) -> None:
+        """Queue a transaction for mining."""
+        self.mempool.submit(tx)
+
+    # -- mining -----------------------------------------------------------------------
+
+    def mine_block(self, miner_addr: bytes, timestamp: int | None = None) -> Block:
+        """Assemble, mine and connect the next block; returns it.
+
+        Mempool transactions that fail stateful validation are silently
+        dropped from the template (and from the mempool).  ``timestamp``
+        overrides the node's internal clock (used by retargeting tests to
+        simulate fast/slow hash rates).
+        """
+        parent = self.chain.tip
+        height = parent.height + 1
+        selected, fees = self._select_transactions(height)
+        coinbase = make_coinbase(
+            miner_addr, self.params.block_reward + fees, height
+        )
+        transactions = (coinbase, *selected)
+        self._clock = timestamp if timestamp is not None else self._clock + 1
+        header = BlockHeader(
+            prev_hash=parent.hash,
+            height=height,
+            merkle_root=transactions_merkle_root(transactions),
+            sc_txs_commitment=compute_sc_txs_commitment(transactions),
+            timestamp=self._clock,
+            target_bits=self.chain.next_target_bits(parent.hash),
+        )
+        block = Block(header=mine_header(header), transactions=transactions)
+        self.chain.add_block(block)
+        self.mempool.remove_confirmed(transactions)
+        return block
+
+    def mine_blocks(self, miner_addr: bytes, count: int) -> list[Block]:
+        """Mine ``count`` consecutive blocks."""
+        return [self.mine_block(miner_addr) for _ in range(count)]
+
+    def _select_transactions(self, height: int) -> tuple[list[Transaction], int]:
+        """Greedy template building with pre-connection against a state copy."""
+        candidates = self.mempool.take(self.params.max_block_transactions - 1)
+        if not candidates:
+            return [], 0
+        trial = self.chain.state.copy()
+        trial.cctp.advance_to_height(height)
+        trial._mature_payouts(height)
+        selected: list[Transaction] = []
+        fees = 0
+        for tx in candidates:
+            try:
+                # _connect_transaction mutates `trial` only on success for the
+                # failure modes we drop here (validation precedes mutation in
+                # the coin path); a partially-applied CCTP failure only skews
+                # the trial state, never the real chain.
+                fees += trial._connect_transaction(
+                    tx, _TemplateBlockView(height, self.chain.tip.hash)
+                )
+                selected.append(tx)
+            except ZendooError:
+                self.mempool.remove(tx.txid)
+        return selected, fees
+
+    # -- receiving blocks from peers ---------------------------------------------------
+
+    def receive_block(self, block: Block) -> bool:
+        """Validate and store a block from the network; True when tip moved."""
+        accepted = self.chain.add_block(block)
+        if accepted:
+            self.mempool.remove_confirmed(block.transactions)
+        return accepted
+
+
+class _TemplateBlockView:
+    """Just enough of a Block for template pre-connection."""
+
+    def __init__(self, height: int, block_hash: bytes) -> None:
+        self.height = height
+        self.hash = block_hash

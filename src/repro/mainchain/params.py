@@ -1,0 +1,43 @@
+"""Mainchain consensus parameters.
+
+The mainchain is "a blockchain system based on the Bitcoin backbone protocol
+model" (Def. 3.1).  Parameters are collected here so tests and benches can
+run with fast toy proof-of-work while examples can turn the difficulty up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MainchainParams:
+    """Consensus constants of a mainchain instance."""
+
+    #: Proof-of-work difficulty: required leading zero bits of the block hash.
+    pow_zero_bits: int = 8
+
+    #: Coinbase subsidy per block (no halving in the reproduction).
+    block_reward: int = 50_0000_0000
+
+    #: Number of blocks before a coinbase output becomes spendable.
+    coinbase_maturity: int = 2
+
+    #: Maximum transactions per block (coinbase included).
+    max_block_transactions: int = 1000
+
+    #: Difficulty retargeting: every ``retarget_interval`` blocks the target
+    #: adjusts by at most one bit based on observed timestamps (0 disables
+    #: retargeting — the default for tests, where mining speed is synthetic).
+    retarget_interval: int = 0
+
+    #: Intended timestamp spacing between blocks (timestamp units).
+    target_block_spacing: int = 10
+
+    #: Network magic mixed into the genesis block hash so independent chains
+    #: never share ids.
+    network_tag: bytes = b"zendoo-mainnet-sim"
+
+
+#: Defaults tuned for unit tests: near-instant mining.
+TEST_PARAMS = MainchainParams(pow_zero_bits=4, coinbase_maturity=1)

@@ -1,0 +1,36 @@
+"""Simulated Nakamoto proof-of-work.
+
+SUBSTITUTION (DESIGN.md §4): the paper assumes a production PoW mainchain.
+We keep the real mechanism — hash-preimage puzzles with a leading-zero-bits
+target and cumulative-work fork choice — at toy difficulty, so mining is
+fast but reorg/fork behaviour (which is what the sidechain binding of §5.1
+reacts to) is faithfully reproduced.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.mainchain.block import BlockHeader
+
+
+def meets_target(block_hash: bytes, zero_bits: int) -> bool:
+    """True when ``block_hash`` has at least ``zero_bits`` leading zero bits."""
+    value = int.from_bytes(block_hash, "big")
+    return value < (1 << (len(block_hash) * 8 - zero_bits))
+
+
+def block_work(zero_bits: int) -> int:
+    """Expected number of hash evaluations to find a block at this target."""
+    return 1 << zero_bits
+
+
+def mine_header(header: BlockHeader, max_attempts: int = 1 << 24) -> BlockHeader:
+    """Grind the nonce until the header meets its own ``target_bits``."""
+    candidate = header
+    for nonce in range(max_attempts):
+        candidate = header.with_nonce(nonce)
+        if meets_target(candidate.hash, header.target_bits):
+            return candidate
+    raise ValidationError(
+        f"no nonce below {max_attempts} meets {header.target_bits} zero bits"
+    )

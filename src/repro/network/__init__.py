@@ -1,0 +1,5 @@
+"""Deterministic discrete-event network simulation substrate."""
+
+from repro.network.simulator import LatencyModel, NetworkSimulator
+
+__all__ = ["LatencyModel", "NetworkSimulator"]

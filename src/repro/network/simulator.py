@@ -1,0 +1,113 @@
+"""A small deterministic discrete-event network simulator.
+
+Used by liveness-style experiments (certificate submission windows, ceasing
+under delay — bench Q4): messages between nodes are delivered after
+per-link latencies, and the simulation clock advances event by event.
+Determinism comes from explicit seeds — no wall-clock, no global RNG.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.crypto.hashing import hash_bytes
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    deliver: Callable[[], None] = field(compare=False)
+
+
+class LatencyModel:
+    """Deterministic pseudo-random link latencies.
+
+    Latency for the ``n``-th message on a link is derived by hashing
+    ``(seed, src, dst, n)`` into ``[base, base + jitter]``.
+    """
+
+    def __init__(self, base: float = 0.05, jitter: float = 0.1, seed: bytes = b"net") -> None:
+        self.base = base
+        self.jitter = jitter
+        self.seed = seed
+        self._counters: dict[tuple[str, str], int] = {}
+
+    def sample(self, src: str, dst: str) -> float:
+        """The next latency sample for the (src, dst) link."""
+        n = self._counters.get((src, dst), 0)
+        self._counters[(src, dst)] = n + 1
+        material = self.seed + src.encode() + b"->" + dst.encode() + n.to_bytes(8, "little")
+        digest = hash_bytes(material, b"net/latency")
+        fraction = int.from_bytes(digest[:8], "little") / float(1 << 64)
+        return self.base + self.jitter * fraction
+
+
+class NetworkSimulator:
+    """An event loop delivering messages between registered handlers."""
+
+    def __init__(self, latency: LatencyModel | None = None) -> None:
+        self.latency = latency or LatencyModel()
+        self.clock = 0.0
+        self._queue: list[_Event] = []
+        self._sequence = itertools.count()
+        self._handlers: dict[str, Callable[[str, Any], None]] = {}
+        self.delivered = 0
+
+    def register(self, name: str, handler: Callable[[str, Any], None]) -> None:
+        """Register a node: ``handler(sender_name, message)``."""
+        self._handlers[name] = handler
+
+    @property
+    def nodes(self) -> list[str]:
+        """Registered node names."""
+        return list(self._handlers)
+
+    def send(self, src: str, dst: str, message: Any) -> float:
+        """Schedule a point-to-point message; returns its delivery time."""
+        if dst not in self._handlers:
+            raise KeyError(f"unknown destination node {dst!r}")
+        at = self.clock + self.latency.sample(src, dst)
+        self.schedule_at(at, lambda: self._handlers[dst](src, message))
+        return at
+
+    def broadcast(self, src: str, message: Any) -> list[float]:
+        """Send to every registered node except the sender."""
+        return [
+            self.send(src, dst, message) for dst in self._handlers if dst != src
+        ]
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule an arbitrary action at an absolute time."""
+        if time < self.clock:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue, _Event(time, next(self._sequence), action))
+
+    def schedule_after(self, delay: float, action: Callable[[], None]) -> None:
+        """Schedule an action ``delay`` after the current clock."""
+        self.schedule_at(self.clock + delay, action)
+
+    def step(self) -> bool:
+        """Deliver the next event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self.clock = event.time
+        event.deliver()
+        self.delivered += 1
+        return True
+
+    def run(self, until: float | None = None, max_events: int = 1_000_000) -> int:
+        """Drain the queue (optionally up to time ``until``); returns events run."""
+        count = 0
+        while self._queue and count < max_events:
+            if until is not None and self._queue[0].time > until:
+                break
+            self.step()
+            count += 1
+        if until is not None and self.clock < until:
+            self.clock = until
+        return count

@@ -1,0 +1,19 @@
+"""Scenario orchestration: full-deployment harness and workload generators."""
+
+from repro.scenarios.harness import (
+    SidechainHandle,
+    ZendooHarness,
+    latus_sidechain_config,
+)
+from repro.scenarios.multi_node import MultiNodeDeployment
+from repro.scenarios.workload import Account, PaymentWorkload, make_accounts
+
+__all__ = [
+    "Account",
+    "MultiNodeDeployment",
+    "PaymentWorkload",
+    "SidechainHandle",
+    "ZendooHarness",
+    "latus_sidechain_config",
+    "make_accounts",
+]

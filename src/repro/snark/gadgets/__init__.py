@@ -1,0 +1,28 @@
+"""Reusable R1CS gadgets: MiMC, Merkle paths, amount arithmetic."""
+
+from repro.snark.gadgets.arith import (
+    AMOUNT_BITS,
+    alloc_amount,
+    enforce_conservation,
+    enforce_less_or_equal,
+    enforce_sum_with_fee,
+)
+from repro.snark.gadgets.merkle import enforce_merkle_membership, merkle_path_gadget
+from repro.snark.gadgets.mimc import (
+    mimc_compress_gadget,
+    mimc_hash_gadget,
+    mimc_permutation_gadget,
+)
+
+__all__ = [
+    "AMOUNT_BITS",
+    "alloc_amount",
+    "enforce_conservation",
+    "enforce_less_or_equal",
+    "enforce_merkle_membership",
+    "enforce_sum_with_fee",
+    "merkle_path_gadget",
+    "mimc_compress_gadget",
+    "mimc_hash_gadget",
+    "mimc_permutation_gadget",
+]

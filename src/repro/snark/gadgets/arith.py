@@ -1,0 +1,66 @@
+"""Arithmetic gadgets: 64-bit amounts, conservation, comparisons.
+
+Coin amounts throughout the protocol are 64-bit unsigned integers embedded
+in the field.  Field arithmetic wraps modulo ``p``, so every amount that
+enters a conservation equation must be range-checked to prevent overflow
+forgeries — exactly the discipline real SNARK circuits need.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.snark.circuit import CircuitBuilder, Wire
+
+#: Bit width of a coin amount.
+AMOUNT_BITS: int = 64
+
+
+def alloc_amount(builder: CircuitBuilder, value: int) -> Wire:
+    """Allocate a wire range-checked to be a valid 64-bit amount."""
+    wire = builder.alloc(value)
+    builder.enforce_range(wire, AMOUNT_BITS, "amount/range")
+    return wire
+
+
+def enforce_conservation(
+    builder: CircuitBuilder,
+    inputs: Sequence[Wire],
+    outputs: Sequence[Wire],
+    annotation: str = "conservation",
+) -> None:
+    """Enforce ``sum(inputs) == sum(outputs)`` over range-checked amounts.
+
+    With all amounts < 2**64 and realistic list sizes, the field sums cannot
+    wrap, so field equality equals integer equality.
+    """
+    builder.enforce_equal(builder.sum(inputs), builder.sum(outputs), annotation)
+
+
+def enforce_less_or_equal(
+    builder: CircuitBuilder, a: Wire, b: Wire, num_bits: int = AMOUNT_BITS
+) -> Wire:
+    """Enforce ``a <= b`` for range-checked values; returns the ``b - a`` wire.
+
+    Works by range-checking the difference: ``b - a`` fits in ``num_bits``
+    bits iff no borrow occurred (given both operands are themselves
+    ``num_bits``-bit values).
+    """
+    difference = builder.sub(b, a)
+    builder.enforce_range(difference, num_bits, "leq/diff-range")
+    return difference
+
+
+def enforce_sum_with_fee(
+    builder: CircuitBuilder,
+    inputs: Sequence[Wire],
+    outputs: Sequence[Wire],
+) -> Wire:
+    """Enforce ``sum(inputs) >= sum(outputs)``; returns the fee wire.
+
+    The paper's payment rule (§5.3.1): input total may exceed output total;
+    the slack is the (implicit) fee.
+    """
+    total_in = builder.sum(inputs)
+    total_out = builder.sum(outputs)
+    return enforce_less_or_equal(builder, total_out, total_in, AMOUNT_BITS + 8)

@@ -1,0 +1,56 @@
+"""Merkle-path verification gadget over the fixed-depth field tree.
+
+Proves in-circuit that a leaf wire opens to a root wire along an
+authentication path — the core of the Latus BTR/CSW circuits (§5.5.3.2) and
+of the MST-transition checks.  Per level: one boolean constraint for the
+direction bit, two select constraints to order (node, sibling), and one MiMC
+compression (3 * ROUNDS constraints).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.fixed_merkle import FieldMerkleProof
+from repro.snark.circuit import CircuitBuilder, Wire
+from repro.snark.gadgets.mimc import mimc_compress_gadget
+
+
+def merkle_path_gadget(
+    builder: CircuitBuilder,
+    leaf: Wire,
+    path_bits: list[Wire],
+    siblings: list[Wire],
+) -> Wire:
+    """Recompute the root from ``leaf`` along the path; returns the root wire.
+
+    ``path_bits[i]`` must be boolean-constrained already (1 = node is the
+    right child at level ``i``); ``siblings[i]`` is the sibling wire at that
+    level.
+    """
+    node = leaf
+    for bit, sibling in zip(path_bits, siblings):
+        left, right = builder.swap_if(bit, node, sibling)
+        node = mimc_compress_gadget(builder, left, right)
+    return node
+
+
+def enforce_merkle_membership(
+    builder: CircuitBuilder,
+    proof: FieldMerkleProof,
+    root: Wire,
+    leaf: Wire | None = None,
+) -> Wire:
+    """Allocate a witness Merkle proof and enforce it opens to ``root``.
+
+    When ``leaf`` is given it is used as the proven leaf wire (tying it to
+    other parts of the circuit); otherwise the leaf value from ``proof`` is
+    allocated as a fresh witness.  Returns the leaf wire.
+    """
+    if leaf is None:
+        leaf = builder.alloc(proof.leaf)
+    path_bits = [
+        builder.alloc_bit((proof.position >> i) & 1) for i in range(proof.depth)
+    ]
+    siblings = [builder.alloc(s) for s in proof.siblings]
+    computed_root = merkle_path_gadget(builder, leaf, path_bits, siblings)
+    builder.enforce_equal(computed_root, root, "merkle/root")
+    return leaf

@@ -1,0 +1,279 @@
+"""Recursive SNARK composition for state-transition systems (Def. 2.4/2.5).
+
+Implements the paper's ``(Base, Merge)`` pair:
+
+* **Base** proves a single transition: "there exists ``t`` such that
+  ``s_{i+1} = update(t, s_i)``", with states exposed as digests.
+* **Merge** combines two proofs over adjacent digest ranges
+  ``(d_i → d_k)`` and ``(d_k → d_j)`` into one proof for ``(d_i → d_j)``.
+
+The :class:`RecursiveComposer` owns the bootstrapped keys and offers
+``prove_base`` / ``merge`` / ``prove_sequence``; the latter reproduces the
+balanced merge trees of the paper's Figures 10 and 11 and reports tree
+statistics (base count, merge count, depth) used by the recursion benches.
+
+In a production recursive SNARK the Merge circuit arithmetizes the verifier
+of its children; here child verification is a native check inside the Merge
+circuit's synthesis (documented substitution, DESIGN.md §4) — the
+composition *structure*, adjacency discipline, and cost accounting are real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generic, Protocol, Sequence, TypeVar
+
+from repro.errors import SnarkError, StateTransitionError
+from repro.snark import proving
+from repro.snark.circuit import Circuit, CircuitBuilder
+from repro.snark.proving import Proof, ProvingKey, VerifyingKey
+from repro.snark.r1cs import R1CSStats
+
+State = TypeVar("State")
+Transition = TypeVar("Transition")
+
+
+class TransitionSystem(Protocol[State, Transition]):
+    """The paper's state transition system (Def. 2.4) plus a digest map.
+
+    ``apply`` returns the successor state or raises
+    :class:`~repro.errors.StateTransitionError` (the ``⊥`` case).  ``digest``
+    maps a state to a field element — the form in which states appear as
+    SNARK public inputs.
+    """
+
+    name: str
+
+    def apply(self, transition: Transition, state: State) -> State: ...
+
+    def digest(self, state: State) -> int: ...
+
+    def synthesize_transition(
+        self,
+        builder: CircuitBuilder,
+        state: State,
+        transition: Transition,
+        next_state: State,
+    ) -> None:
+        """Optional hook adding real R1CS constraints for the transition."""
+        ...
+
+
+@dataclass(frozen=True)
+class TransitionProof:
+    """A proof that some transitions move the system from one digest to another.
+
+    ``span`` is the number of elementary transitions covered and ``depth``
+    the height of the merge tree that produced it (0 for a base proof).
+    """
+
+    from_digest: int
+    to_digest: int
+    proof: Proof
+    is_merge: bool
+    span: int
+    depth: int
+
+    @property
+    def public_input(self) -> tuple[int, int]:
+        """The public input this proof verifies against: ``(d_from, d_to)``."""
+        return (self.from_digest, self.to_digest)
+
+
+@dataclass
+class CompositionStats:
+    """Aggregate statistics of building one recursive proof."""
+
+    base_proofs: int = 0
+    merge_proofs: int = 0
+    tree_depth: int = 0
+    constraints: int = 0
+    native_checks: int = 0
+
+    def record(self, stats: R1CSStats) -> None:
+        self.constraints += stats.num_constraints
+        self.native_checks += stats.num_native_checks
+
+
+class _BaseCircuit(Circuit, Generic[State, Transition]):
+    """Base SNARK circuit: one ``update`` application (Def. 2.5 item 1)."""
+
+    def __init__(self, system: TransitionSystem[State, Transition]) -> None:
+        self.system = system
+        self.circuit_id = f"stp/base/{system.name}"
+
+    def synthesize(
+        self,
+        builder: CircuitBuilder,
+        public_input: Sequence[int],
+        witness: Any,
+    ) -> None:
+        state, transition = witness
+        d_from, d_to = public_input
+        builder.alloc_public(d_from)
+        builder.alloc_public(d_to)
+        builder.assert_native(
+            self.system.digest(state) == d_from,
+            "base: starting state does not match d_from",
+        )
+        try:
+            next_state = self.system.apply(transition, state)
+        except StateTransitionError as exc:
+            builder.assert_native(False, f"base: update returned ⊥ ({exc})")
+            return
+        builder.assert_native(
+            self.system.digest(next_state) == d_to,
+            "base: resulting state does not match d_to",
+        )
+        synthesize_hook = getattr(self.system, "synthesize_transition", None)
+        if synthesize_hook is not None:
+            synthesize_hook(builder, state, transition, next_state)
+
+
+class _MergeCircuit(Circuit):
+    """Merge SNARK circuit: glue two adjacent proofs (Def. 2.5 item 2)."""
+
+    def __init__(
+        self, system_name: str, verify_child: Callable[[TransitionProof], bool]
+    ) -> None:
+        self._verify_child = verify_child
+        self.circuit_id = f"stp/merge/{system_name}"
+
+    def synthesize(
+        self,
+        builder: CircuitBuilder,
+        public_input: Sequence[int],
+        witness: Any,
+    ) -> None:
+        left, right = witness
+        d_from, d_to = public_input
+        builder.alloc_public(d_from)
+        builder.alloc_public(d_to)
+        builder.assert_native(
+            left.from_digest == d_from, "merge: left proof does not start at d_from"
+        )
+        builder.assert_native(
+            left.to_digest == right.from_digest,
+            "merge: child proofs are not adjacent",
+        )
+        builder.assert_native(
+            right.to_digest == d_to, "merge: right proof does not end at d_to"
+        )
+        builder.assert_native(self._verify_child(left), "merge: left child invalid")
+        builder.assert_native(self._verify_child(right), "merge: right child invalid")
+
+
+class RecursiveComposer(Generic[State, Transition]):
+    """Bootstraps and drives the ``(Base, Merge)`` pair for one system."""
+
+    def __init__(self, system: TransitionSystem[State, Transition]) -> None:
+        self.system = system
+        self._base_pk: ProvingKey
+        self._merge_pk: ProvingKey
+        self._base_pk, self.base_vk = proving.setup(_BaseCircuit(system))
+        self._merge_pk, self.merge_vk = proving.setup(
+            _MergeCircuit(system.name, self.verify)
+        )
+
+    # -- verification ----------------------------------------------------------
+
+    def verify(self, transition_proof: TransitionProof) -> bool:
+        """Verify a base or merge proof against the appropriate key."""
+        vk = self.merge_vk if transition_proof.is_merge else self.base_vk
+        return proving.verify(
+            vk, transition_proof.public_input, transition_proof.proof
+        )
+
+    # -- proving -----------------------------------------------------------------
+
+    def prove_base(
+        self,
+        state: State,
+        transition: Transition,
+        stats: CompositionStats | None = None,
+    ) -> tuple[TransitionProof, State]:
+        """Prove one transition; returns the proof and the successor state."""
+        next_state = self.system.apply(transition, state)
+        d_from = self.system.digest(state)
+        d_to = self.system.digest(next_state)
+        result = proving.prove_with_stats(
+            self._base_pk, (d_from, d_to), (state, transition)
+        )
+        if stats is not None:
+            stats.base_proofs += 1
+            stats.record(result.stats)
+        proof = TransitionProof(
+            from_digest=d_from,
+            to_digest=d_to,
+            proof=result.proof,
+            is_merge=False,
+            span=1,
+            depth=0,
+        )
+        return proof, next_state
+
+    def merge(
+        self,
+        left: TransitionProof,
+        right: TransitionProof,
+        stats: CompositionStats | None = None,
+    ) -> TransitionProof:
+        """Merge two adjacent proofs into one (raises if not adjacent)."""
+        if left.to_digest != right.from_digest:
+            raise SnarkError("cannot merge proofs over non-adjacent ranges")
+        public = (left.from_digest, right.to_digest)
+        result = proving.prove_with_stats(self._merge_pk, public, (left, right))
+        if stats is not None:
+            stats.merge_proofs += 1
+            stats.record(result.stats)
+        return TransitionProof(
+            from_digest=left.from_digest,
+            to_digest=right.to_digest,
+            proof=result.proof,
+            is_merge=True,
+            span=left.span + right.span,
+            depth=max(left.depth, right.depth) + 1,
+        )
+
+    def merge_all(
+        self,
+        proofs: Sequence[TransitionProof],
+        stats: CompositionStats | None = None,
+    ) -> TransitionProof:
+        """Merge a chain of adjacent proofs into one via a balanced tree.
+
+        This reproduces the merge trees of the paper's Fig. 10 (within a
+        block) and Fig. 11 (across a withdrawal epoch).
+        """
+        if not proofs:
+            raise SnarkError("cannot merge an empty proof list")
+        level = list(proofs)
+        while len(level) > 1:
+            next_level = []
+            for i in range(0, len(level) - 1, 2):
+                next_level.append(self.merge(level[i], level[i + 1], stats))
+            if len(level) % 2 == 1:
+                next_level.append(level[-1])
+            level = next_level
+        if stats is not None:
+            stats.tree_depth = max(stats.tree_depth, level[0].depth)
+        return level[0]
+
+    def prove_sequence(
+        self, state: State, transitions: Sequence[Transition]
+    ) -> tuple[TransitionProof, State, CompositionStats]:
+        """Prove a whole transition sequence, returning the single root proof.
+
+        Equivalent to proving every transition with Base and folding the
+        results with :meth:`merge_all`.
+        """
+        if not transitions:
+            raise SnarkError("cannot prove an empty transition sequence")
+        stats = CompositionStats()
+        proofs: list[TransitionProof] = []
+        current = state
+        for transition in transitions:
+            proof, current = self.prove_base(current, transition, stats)
+            proofs.append(proof)
+        root = self.merge_all(proofs, stats)
+        return root, current, stats

@@ -1,0 +1,25 @@
+"""Shared fixtures.
+
+Key generation costs ~10ms per key (1536-bit modular exponentiation), so
+well-known key pairs are created once per session and shared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.mainchain.params import MainchainParams
+
+
+@pytest.fixture(scope="session")
+def keys() -> dict[str, KeyPair]:
+    """A pool of deterministic key pairs shared across the whole session."""
+    names = ["alice", "bob", "carol", "dave", "erin", "miner", "creator", "mallory"]
+    return {name: KeyPair.from_seed(name) for name in names}
+
+
+@pytest.fixture(scope="session")
+def fast_mc_params() -> MainchainParams:
+    """Mainchain parameters tuned for near-instant mining in tests."""
+    return MainchainParams(pow_zero_bits=2, coinbase_maturity=1)

@@ -1,0 +1,143 @@
+"""Tests for the independent sidechain auditor and node bootstrapping."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.latus.audit import SidechainAuditor
+from repro.latus.node import LatusNode
+from repro.scenarios import ZendooHarness
+
+ALICE = KeyPair.from_seed("alice")
+BOB = KeyPair.from_seed("bob")
+
+
+@pytest.fixture(scope="module")
+def history():
+    harness = ZendooHarness()
+    harness.mine(2)
+    sc = harness.create_sidechain("audit", epoch_len=4, submit_len=2)
+    harness.forward_transfer(sc, ALICE, 50_000)
+    harness.run_epochs(sc, 1)
+    harness.wallet(sc, ALICE).pay(BOB.address, 12_000)
+    harness.run_epochs(sc, 1)
+    return harness, sc
+
+
+def make_auditor(harness, sc) -> SidechainAuditor:
+    return SidechainAuditor(
+        config=sc.config,
+        params=sc.node.params,
+        mc_node=harness.mc,
+        creator_address=sc.node.creator.address,
+    )
+
+
+class TestCleanHistory:
+    def test_honest_history_audits_clean(self, history):
+        harness, sc = history
+        report = make_auditor(harness, sc).audit(sc.node.blocks)
+        assert report.clean, (report.violations, report.certificate_mismatches)
+        assert report.blocks_verified == len(sc.node.blocks)
+        assert report.epochs_checked >= 2
+        assert report.transitions_applied > 0
+        assert report.mc_references_verified > 0
+
+
+class TestViolationDetection:
+    def test_broken_parent_link(self, history):
+        harness, sc = history
+        blocks = list(sc.node.blocks)
+        blocks[1], blocks[2] = blocks[2], blocks[1]
+        report = make_auditor(harness, sc).audit(blocks)
+        assert not report.clean
+        assert any("parent link" in v for v in report.violations)
+
+    def test_tampered_state_digest(self, history):
+        from dataclasses import replace
+
+        harness, sc = history
+        blocks = list(sc.node.blocks)
+        # tampering invalidates the signature first; re-sign to reach the
+        # digest check (a forger lying about the resulting state)
+        from repro.latus.block import forge_block
+
+        target = blocks[0]
+        forged = forge_block(
+            parent_hash=target.parent_hash,
+            height=target.height,
+            slot=target.slot,
+            forger=sc.node.creator,
+            mc_refs=target.mc_refs,
+            transactions=target.transactions,
+            state_digest=target.state_digest + 1,
+        )
+        report = make_auditor(harness, sc).audit([forged] + blocks[1:])
+        assert not report.clean
+
+    def test_truncated_history_still_clean_prefix(self, history):
+        harness, sc = history
+        report = make_auditor(harness, sc).audit(sc.node.blocks[:2])
+        assert report.clean
+        assert report.blocks_verified == 2
+
+    def test_foreign_forger_detected(self, history):
+        from repro.latus.block import forge_block
+
+        harness, sc = history
+        mallory = KeyPair.from_seed("mallory")
+        target = sc.node.blocks[0]
+        forged = forge_block(
+            parent_hash=target.parent_hash,
+            height=target.height,
+            slot=target.slot,
+            forger=mallory,
+            mc_refs=target.mc_refs,
+            transactions=target.transactions,
+            state_digest=target.state_digest,
+        )
+        report = make_auditor(harness, sc).audit([forged])
+        assert any("slot leader" in v for v in report.violations)
+
+
+class TestBootstrap:
+    def test_fresh_node_reaches_identical_state(self, history):
+        harness, sc = history
+        fresh = LatusNode(
+            config=sc.config,
+            params=sc.node.params,
+            mc_node=harness.mc,
+            creator=sc.node.creator,
+            forger_keys=[sc.node.creator],
+            auto_submit_certificates=False,
+        )
+        fresh.bootstrap_from(list(sc.node.blocks))
+        assert fresh.height == sc.node.height
+        assert fresh.tip_hash == sc.node.tip_hash
+        assert fresh.state.digest() == sc.node.state.digest()
+        assert fresh.utxo_index.keys() == sc.node.utxo_index.keys()
+        # anchors rebuilt identically (certificates are deterministic)
+        for epoch, anchor in sc.node.anchors.items():
+            assert fresh.anchors[epoch].certificate.id == anchor.certificate.id
+
+    def test_bootstrap_requires_fresh_node(self, history):
+        harness, sc = history
+        from repro.errors import ConsensusError
+
+        with pytest.raises(ConsensusError):
+            sc.node.bootstrap_from(list(sc.node.blocks))
+
+    def test_bootstrap_rejects_tampered_history(self, history):
+        harness, sc = history
+        from repro.errors import ZendooError
+
+        fresh = LatusNode(
+            config=sc.config,
+            params=sc.node.params,
+            mc_node=harness.mc,
+            creator=sc.node.creator,
+            auto_submit_certificates=False,
+        )
+        blocks = list(sc.node.blocks)
+        blocks[0], blocks[1] = blocks[1], blocks[0]
+        with pytest.raises(ZendooError):
+            fresh.bootstrap_from(blocks)

@@ -1,0 +1,81 @@
+"""Unit tests for sidechain bootstrapping (repro.core.bootstrap) — §4.2."""
+
+import pytest
+
+from repro.core.bootstrap import ProofdataSchema, SidechainConfig
+from repro.core.transfers import derive_ledger_id
+from repro.errors import CctpError
+from repro.snark import proving
+from repro.snark.circuit import Circuit
+
+
+class _Vk(Circuit):
+    circuit_id = "test/bootstrap-vk"
+
+    def synthesize(self, b, public, witness):
+        b.alloc_publics(public)
+
+
+@pytest.fixture(scope="module")
+def vk():
+    return proving.setup(_Vk())[1]
+
+
+def make_config(vk, **overrides):
+    defaults = dict(
+        ledger_id=derive_ledger_id("bootstrap"),
+        start_block=10,
+        epoch_len=5,
+        submit_len=2,
+        wcert_vk=vk,
+    )
+    defaults.update(overrides)
+    return SidechainConfig(**defaults)
+
+
+class TestProofdataSchema:
+    def test_size_and_match(self):
+        schema = ProofdataSchema(fields=("a", "b"))
+        assert schema.size == 2
+        assert schema.matches((1, 2))
+        assert not schema.matches((1,))
+        assert not schema.matches((1, 2, 3))
+
+    def test_empty_schema(self):
+        assert ProofdataSchema().matches(())
+        assert not ProofdataSchema().matches((1,))
+
+
+class TestSidechainConfig:
+    def test_valid_config(self, vk):
+        config = make_config(vk)
+        assert config.schedule.epoch_len == 5
+        assert not config.supports_btr
+        assert not config.supports_csw
+
+    def test_optional_keys_flags(self, vk):
+        config = make_config(vk, btr_vk=vk, csw_vk=vk)
+        assert config.supports_btr and config.supports_csw
+
+    def test_bad_ledger_id_rejected(self, vk):
+        with pytest.raises(CctpError):
+            make_config(vk, ledger_id=b"short")
+
+    def test_bad_schedule_rejected(self, vk):
+        with pytest.raises(CctpError):
+            make_config(vk, submit_len=9)
+
+    def test_config_id_sensitive_to_keys(self, vk):
+        class Other(_Vk):
+            circuit_id = "test/bootstrap-vk-2"
+
+        other_vk = proving.setup(Other())[1]
+        assert make_config(vk).id != make_config(vk, wcert_vk=other_vk).id
+
+    def test_config_id_sensitive_to_schemas(self, vk):
+        a = make_config(vk)
+        b = make_config(vk, wcert_proofdata=ProofdataSchema(fields=("x",)))
+        assert a.id != b.id
+
+    def test_encode_roundtrip_stability(self, vk):
+        assert make_config(vk).encode() == make_config(vk).encode()

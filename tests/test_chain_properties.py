@@ -1,0 +1,89 @@
+"""Property-based tests on mainchain fork choice and state consistency.
+
+Hypothesis drives random fork topologies; invariants: the active tip
+always maximizes cumulative work (first-seen on ties), per-branch states
+are consistent with their own history, and coin supply on every branch
+matches that branch's issuance.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mainchain.chain import Blockchain
+from repro.mainchain.params import MainchainParams
+from repro.mainchain.pow import block_work
+from tests.test_mainchain_chain import make_block
+
+PARAMS = MainchainParams(pow_zero_bits=2, coinbase_maturity=1)
+
+# Each element picks the parent of the next block as an index into the list
+# of already-existing blocks (0 = genesis), yielding arbitrary tree shapes.
+topologies = st.lists(
+    st.integers(min_value=0, max_value=30), min_size=1, max_size=12
+)
+
+
+def build_tree(parent_choices: list[int]) -> tuple[Blockchain, list]:
+    chain = Blockchain(PARAMS)
+    blocks = [chain.genesis]
+    for i, choice in enumerate(parent_choices):
+        parent = blocks[choice % len(blocks)]
+        miner = bytes([choice % 5]) * 32  # a few distinct miners
+        block = make_block(parent, params=PARAMS, miner_addr=miner, ts=100 + i)
+        chain.add_block(block)
+        blocks.append(block)
+    return chain, blocks
+
+
+class TestForkChoiceProperties:
+    @given(topologies)
+    @settings(max_examples=25, deadline=None)
+    def test_tip_maximizes_work(self, parent_choices):
+        chain, blocks = build_tree(parent_choices)
+        tip_work = chain.cumulative_work(chain.tip.hash)
+        for block in blocks:
+            assert chain.cumulative_work(block.hash) <= tip_work
+
+    @given(topologies)
+    @settings(max_examples=25, deadline=None)
+    def test_active_chain_is_consistent_path(self, parent_choices):
+        chain, _ = build_tree(parent_choices)
+        active = chain.active_chain()
+        assert active[0].hash == chain.genesis.hash
+        for parent, child in zip(active, active[1:]):
+            assert child.header.prev_hash == parent.hash
+            assert child.height == parent.height + 1
+        assert active[-1].hash == chain.tip.hash
+
+    @given(topologies)
+    @settings(max_examples=25, deadline=None)
+    def test_every_branch_supply_matches_its_issuance(self, parent_choices):
+        chain, blocks = build_tree(parent_choices)
+        for block in blocks:
+            state = chain.state_at(block.hash)
+            assert state.utxos.total_supply() == PARAMS.block_reward * block.height
+
+    @given(topologies)
+    @settings(max_examples=25, deadline=None)
+    def test_work_is_height_times_block_work(self, parent_choices):
+        # fixed difficulty: cumulative work is a pure function of height
+        chain, blocks = build_tree(parent_choices)
+        per_block = block_work(PARAMS.pow_zero_bits)
+        for block in blocks:
+            assert chain.cumulative_work(block.hash) == block.height * per_block
+
+    @given(topologies)
+    @settings(max_examples=15, deadline=None)
+    def test_insertion_order_does_not_change_the_winner(self, parent_choices):
+        """Build the same tree twice with different insertion orders of the
+        *leaf* blocks; the heaviest tip must win in both (ties may differ
+        by first-seen, so only strictly-heaviest cases are compared)."""
+        chain_a, blocks = build_tree(parent_choices)
+        heights = [chain_a.cumulative_work(b.hash) for b in blocks]
+        if heights.count(max(heights)) != 1:
+            return  # tie: first-seen semantics make order matter, by design
+        chain_b = Blockchain(PARAMS)
+        # reinsert children grouped by height (a valid different order)
+        for block in sorted(blocks[1:], key=lambda b: (b.height, b.hash)):
+            chain_b.add_block(block)
+        assert chain_b.tip.hash == chain_a.tip.hash

@@ -1,0 +1,142 @@
+"""Unit tests for the circuit-builder DSL (repro.snark.circuit)."""
+
+import pytest
+
+from repro.crypto.field import MODULUS
+from repro.errors import SynthesisError, UnsatisfiedConstraint
+from repro.snark.circuit import Circuit, CircuitBuilder
+
+
+class TestLinearOps:
+    def test_linear_ops_cost_nothing(self):
+        b = CircuitBuilder()
+        x = b.alloc(3)
+        y = b.alloc(4)
+        z = b.add(x, y)
+        w = b.sub(z, x)
+        s = b.scale(w, 5)
+        total = b.sum([x, y, s])
+        assert (z.value, w.value, s.value, total.value) == (7, 4, 20, 27)
+        assert b.stats().num_constraints == 0
+
+    def test_constant_wire(self):
+        b = CircuitBuilder()
+        c = b.constant(9)
+        assert c.value == 9
+        assert b.stats().num_variables == 0
+
+
+class TestMultiplicativeOps:
+    def test_mul(self):
+        b = CircuitBuilder()
+        out = b.mul(b.alloc(6), b.alloc(7))
+        assert out.value == 42
+        assert b.stats().num_constraints == 1
+
+    def test_square(self):
+        b = CircuitBuilder()
+        assert b.square(b.alloc(9)).value == 81
+
+    def test_enforce_equal_passes_and_fails(self):
+        b = CircuitBuilder()
+        b.enforce_equal(b.alloc(5), b.constant(5))
+        with pytest.raises(UnsatisfiedConstraint):
+            b.enforce_equal(b.alloc(5), b.constant(6))
+
+    def test_enforce_zero(self):
+        b = CircuitBuilder()
+        b.enforce_zero(b.alloc(0))
+        with pytest.raises(UnsatisfiedConstraint):
+            b.enforce_zero(b.alloc(1))
+
+    def test_enforce_boolean(self):
+        b = CircuitBuilder()
+        b.enforce_boolean(b.alloc(0))
+        b.enforce_boolean(b.alloc(1))
+        with pytest.raises(UnsatisfiedConstraint):
+            b.enforce_boolean(b.alloc(2))
+
+    def test_enforce_nonzero(self):
+        b = CircuitBuilder()
+        b.enforce_nonzero(b.alloc(7))
+        with pytest.raises(UnsatisfiedConstraint):
+            b.enforce_nonzero(b.alloc(0))
+
+
+class TestCompositeGadgets:
+    def test_bit_decomposition_roundtrip(self):
+        b = CircuitBuilder()
+        bits = b.decompose_bits(b.alloc(0b1011), 4)
+        assert [w.value for w in bits] == [1, 1, 0, 1]
+
+    def test_decomposition_is_range_check(self):
+        b = CircuitBuilder()
+        with pytest.raises(UnsatisfiedConstraint):
+            b.decompose_bits(b.alloc(16), 4)
+
+    def test_range_check_boundaries(self):
+        b = CircuitBuilder()
+        b.enforce_range(b.alloc(0), 8)
+        b.enforce_range(b.alloc(255), 8)
+        with pytest.raises(UnsatisfiedConstraint):
+            b.enforce_range(b.alloc(256), 8)
+
+    def test_range_check_rejects_negative_as_field_element(self):
+        b = CircuitBuilder()
+        with pytest.raises(UnsatisfiedConstraint):
+            b.enforce_range(b.alloc(MODULUS - 1), 64)  # "-1"
+
+    def test_select(self):
+        b = CircuitBuilder()
+        t, f = b.alloc(10), b.alloc(20)
+        one = b.alloc_bit(1)
+        zero = b.alloc_bit(0)
+        assert b.select(one, t, f).value == 10
+        assert b.select(zero, t, f).value == 20
+
+    def test_swap_if(self):
+        b = CircuitBuilder()
+        x, y = b.alloc(1), b.alloc(2)
+        left, right = b.swap_if(b.alloc_bit(0), x, y)
+        assert (left.value, right.value) == (1, 2)
+        left, right = b.swap_if(b.alloc_bit(1), x, y)
+        assert (left.value, right.value) == (2, 1)
+
+
+class TestCircuitProtocol:
+    class Mul(Circuit):
+        circuit_id = "test/mul"
+
+        def synthesize(self, b, public, witness):
+            out = b.alloc_public(public[0])
+            x, y = witness
+            b.enforce_equal(b.mul(b.alloc(x), b.alloc(y)), out)
+
+    def test_check_returns_stats(self):
+        stats = self.Mul().check((42,), (6, 7))
+        assert stats.num_constraints >= 2
+        assert stats.num_public_inputs == 1
+
+    def test_check_rejects_bad_witness(self):
+        with pytest.raises(UnsatisfiedConstraint):
+            self.Mul().check((42,), (6, 8))
+
+    def test_public_mismatch_detected(self):
+        class Lying(Circuit):
+            circuit_id = "test/lying"
+
+            def synthesize(self, b, public, witness):
+                b.alloc_public(public[0] + 1)  # declares a different value
+
+        with pytest.raises(SynthesisError):
+            Lying().check((5,), None)
+
+    def test_missing_public_detected(self):
+        class Forgetful(Circuit):
+            circuit_id = "test/forgetful"
+
+            def synthesize(self, b, public, witness):
+                pass  # allocates nothing
+
+        with pytest.raises(SynthesisError):
+            Forgetful().check((5,), None)

@@ -1,0 +1,42 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_lifecycle_defaults(self):
+        args = build_parser().parse_args(["lifecycle"])
+        assert args.epochs == 2
+        assert args.epoch_len == 5
+        assert args.fund == 100_000
+
+    def test_lifecycle_overrides(self):
+        args = build_parser().parse_args(
+            ["lifecycle", "--epochs", "3", "--fund", "42", "--epoch-len", "7"]
+        )
+        assert (args.epochs, args.fund, args.epoch_len) == (3, 42, 7)
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "quickstart" in out
+
+    def test_lifecycle_runs(self, capsys):
+        assert main(["lifecycle", "--epochs", "1", "--seed", "cli-test"]) == 0
+        out = capsys.readouterr().out
+        assert "certificates adopted:        1" in out
+        assert "proof=96B" in out
+
+    def test_inspect_runs(self, capsys):
+        assert main(["inspect", "--seed", "cli-test-2", "--epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "sidechain blocks:" in out
+        assert "refs=[" in out

@@ -1,0 +1,201 @@
+"""Unit tests for the SCTxsCommitment tree (repro.core.commitment) — Fig. 4/12."""
+
+import pytest
+
+from repro.core.commitment import (
+    SidechainCommitment,
+    SidechainTxCommitmentTree,
+    build_commitment,
+)
+from repro.core.transfers import (
+    BackwardTransferRequest,
+    ForwardTransfer,
+    WithdrawalCertificate,
+    derive_ledger_id,
+)
+from repro.crypto.hashing import NULL_DIGEST
+from repro.errors import MerkleError
+from repro.snark.proving import PROOF_SIZE, Proof
+
+SC = [derive_ledger_id(f"sc-{i}") for i in range(5)]
+
+
+def ft(ledger, amount=5):
+    return ForwardTransfer(ledger_id=ledger, receiver_metadata=b"m" * 64, amount=amount)
+
+
+def btr(ledger, amount=3):
+    return BackwardTransferRequest(
+        ledger_id=ledger,
+        receiver=b"\x01" * 32,
+        amount=amount,
+        nullifier=bytes([amount]) * 32,
+        proofdata=(),
+        proof=Proof(data=bytes(PROOF_SIZE)),
+    )
+
+
+def wcert(ledger, epoch=0):
+    return WithdrawalCertificate(
+        ledger_id=ledger,
+        epoch_id=epoch,
+        quality=1,
+        bt_list=(),
+        proofdata=(),
+        proof=Proof(data=bytes(PROOF_SIZE)),
+    )
+
+
+class TestBuildCommitment:
+    def test_groups_by_ledger(self):
+        tree = build_commitment(
+            [ft(SC[0]), ft(SC[1]), ft(SC[0], 7)], [btr(SC[1])], [wcert(SC[2])]
+        )
+        assert tree.leaf_count == 3
+        c0 = tree.commitment_for(SC[0])
+        assert len(c0.forward_transfers) == 2
+        assert tree.commitment_for(SC[1]).btrs[0].ledger_id == SC[1]
+        assert tree.commitment_for(SC[2]).wcert is not None
+        assert tree.commitment_for(SC[3]) is None
+
+    def test_one_wcert_per_sidechain_enforced(self):
+        with pytest.raises(MerkleError):
+            build_commitment([], [], [wcert(SC[0], 0), wcert(SC[0], 1)])
+
+    def test_empty_block_root_is_null(self):
+        assert build_commitment([], [], []).root == NULL_DIGEST
+
+    def test_root_sensitive_to_content(self):
+        a = build_commitment([ft(SC[0])], [], [])
+        b = build_commitment([ft(SC[0], 6)], [], [])
+        assert a.root != b.root
+
+    def test_leaves_ordered_by_ledger_id(self):
+        tree = build_commitment([ft(SC[3]), ft(SC[1])], [], [])
+        ids = [c.ledger_id for c in tree.commitments]
+        assert ids == sorted(ids)
+
+    def test_duplicate_ledger_rejected_in_manual_tree(self):
+        c = SidechainCommitment(
+            ledger_id=SC[0], forward_transfers=(ft(SC[0]),), btrs=(), wcert=None
+        )
+        with pytest.raises(MerkleError):
+            SidechainTxCommitmentTree([c, c])
+
+
+class TestPresenceProofs:
+    def test_mproof_verifies(self):
+        tree = build_commitment([ft(SC[0]), ft(SC[1])], [btr(SC[1])], [])
+        proof = tree.prove_presence(SC[1])
+        assert proof.verify(tree.root)
+
+    def test_mproof_fails_on_other_root(self):
+        t1 = build_commitment([ft(SC[0])], [], [])
+        t2 = build_commitment([ft(SC[1])], [], [])
+        assert not t1.prove_presence(SC[0]).verify(t2.root)
+
+    def test_payload_verification_complete(self):
+        fts = (ft(SC[0]), ft(SC[0], 9))
+        tree = build_commitment(list(fts), [], [wcert(SC[0])])
+        proof = tree.prove_presence(SC[0])
+        cert = tree.commitment_for(SC[0]).wcert
+        assert proof.verify_payload(tree.root, fts, (), cert)
+
+    def test_payload_verification_detects_omission(self):
+        fts = (ft(SC[0]), ft(SC[0], 9))
+        tree = build_commitment(list(fts), [], [])
+        proof = tree.prove_presence(SC[0])
+        # claiming only one of the two FTs must fail
+        assert not proof.verify_payload(tree.root, fts[:1], (), None)
+
+    def test_payload_verification_detects_wrong_cert(self):
+        tree = build_commitment([ft(SC[0])], [], [wcert(SC[0], epoch=0)])
+        proof = tree.prove_presence(SC[0])
+        assert not proof.verify_payload(
+            tree.root, (ft(SC[0]),), (), wcert(SC[0], epoch=1)
+        )
+
+    def test_absent_sidechain_has_no_presence_proof(self):
+        tree = build_commitment([ft(SC[0])], [], [])
+        with pytest.raises(MerkleError):
+            tree.prove_presence(SC[4])
+
+
+class TestAbsenceProofs:
+    def _tree(self):
+        ids = sorted(SC)
+        return build_commitment([ft(ids[0]), ft(ids[2]), ft(ids[4])], [], []), ids
+
+    def test_absence_between_leaves(self):
+        tree, ids = self._tree()
+        proof = tree.prove_absence(ids[1])
+        assert proof.left is not None and proof.right is not None
+        assert proof.verify(tree.root)
+
+    def test_absence_below_all(self):
+        tree, ids = self._tree()
+        low = bytes(32)
+        proof = tree.prove_absence(low)
+        assert proof.left is None and proof.right is not None
+        assert proof.verify(tree.root)
+
+    def test_absence_above_all(self):
+        tree, ids = self._tree()
+        high = b"\xff" * 32
+        proof = tree.prove_absence(high)
+        assert proof.left is not None and proof.right is None
+        assert proof.verify(tree.root)
+
+    def test_absence_in_empty_tree(self):
+        tree = build_commitment([], [], [])
+        proof = tree.prove_absence(SC[0])
+        assert proof.verify(tree.root)
+        assert proof.left is None and proof.right is None
+
+    def test_absence_for_present_sidechain_refused(self):
+        tree, ids = self._tree()
+        with pytest.raises(MerkleError):
+            tree.prove_absence(ids[0])
+
+    def test_absence_proof_fails_on_wrong_root(self):
+        tree, ids = self._tree()
+        other = build_commitment([ft(ids[1])], [], [])
+        assert not tree.prove_absence(ids[1]).verify(other.root)
+
+    def test_non_adjacent_neighbors_rejected(self):
+        tree, ids = self._tree()
+        # craft a proof whose neighbors are valid leaves but not adjacent
+        between = tree.prove_absence(ids[3])  # between leaf 1 (ids[2]) and 2 (ids[4])
+        from repro.core.commitment import AbsenceProof
+
+        skewed = AbsenceProof(
+            ledger_id=ids[3],
+            left=tree._neighbor(0),  # not adjacent to right neighbor index 2
+            right=between.right,
+            leaf_count=tree.leaf_count,
+        )
+        assert not skewed.verify(tree.root)
+
+    def test_fake_last_leaf_rejected(self):
+        """The soundness hole the count binding closes: claiming a middle
+        leaf is the last one to fake absence of a later id."""
+        tree, ids = self._tree()
+        # ids[2] is the probe; present leaves are ids[0], ids[2], ids[4].
+        # Mallory claims ids[3] is absent because "the tree ends at leaf 0".
+        from repro.core.commitment import AbsenceProof
+
+        fake = AbsenceProof(
+            ledger_id=ids[3],
+            left=tree._neighbor(1),  # a real leaf, but NOT the last one
+            right=None,
+            leaf_count=tree.leaf_count,
+        )
+        assert not fake.verify(tree.root)
+        # lying about the count does not help: the count is in the root
+        fake_count = AbsenceProof(
+            ledger_id=ids[3],
+            left=tree._neighbor(1),
+            right=None,
+            leaf_count=2,
+        )
+        assert not fake_count.verify(tree.root)

@@ -1,0 +1,53 @@
+"""Unit tests for the canonical encoder (repro.encoding)."""
+
+from repro.encoding import Encoder, concat_all, encode_parts
+
+
+class TestEncoder:
+    def test_fixed_width_ints(self):
+        assert Encoder().u8(1).done() == b"\x01"
+        assert Encoder().u32(1).done() == b"\x01\x00\x00\x00"
+        assert Encoder().u64(1).done() == b"\x01" + b"\x00" * 7
+
+    def test_i64_signed(self):
+        assert Encoder().i64(-1).done() == b"\xff" * 8
+
+    def test_field_element_width(self):
+        assert len(Encoder().field_element(5).done()) == 32
+
+    def test_var_bytes_length_prefixed(self):
+        assert Encoder().var_bytes(b"ab").done() == b"\x02\x00\x00\x00ab"
+
+    def test_text(self):
+        assert Encoder().text("hi").done() == b"\x02\x00\x00\x00hi"
+
+    def test_boolean(self):
+        assert Encoder().boolean(True).done() == b"\x01"
+        assert Encoder().boolean(False).done() == b"\x00"
+
+    def test_sequence_injective(self):
+        one = Encoder().sequence([b"ab", b"c"], lambda e, x: e.var_bytes(x)).done()
+        two = Encoder().sequence([b"a", b"bc"], lambda e, x: e.var_bytes(x)).done()
+        assert one != two
+
+    def test_sequence_counts(self):
+        empty = Encoder().sequence([], lambda e, x: e.var_bytes(x)).done()
+        assert empty == b"\x00\x00\x00\x00"
+
+    def test_optional(self):
+        absent = Encoder().optional(None, lambda e, x: e.u8(x)).done()
+        present = Encoder().optional(7, lambda e, x: e.u8(x)).done()
+        assert absent == b"\x00"
+        assert present == b"\x01\x07"
+
+    def test_chaining_returns_self(self):
+        enc = Encoder()
+        assert enc.u8(1) is enc
+
+
+class TestHelpers:
+    def test_encode_parts_injective(self):
+        assert encode_parts(b"ab", b"c") != encode_parts(b"a", b"bc")
+
+    def test_concat_all(self):
+        assert concat_all([b"a", b"b"]) == b"ab"

@@ -1,0 +1,108 @@
+"""Unit tests for withdrawal-epoch arithmetic (repro.core.epochs) — Fig. 3."""
+
+import pytest
+
+from repro.core.epochs import EpochSchedule
+from repro.errors import CctpError
+
+
+@pytest.fixture
+def schedule() -> EpochSchedule:
+    return EpochSchedule(start_block=10, epoch_len=5, submit_len=2)
+
+
+class TestValidation:
+    def test_epoch_len_positive(self):
+        with pytest.raises(CctpError):
+            EpochSchedule(start_block=0, epoch_len=0, submit_len=1)
+
+    def test_submit_len_bounds(self):
+        with pytest.raises(CctpError):
+            EpochSchedule(start_block=0, epoch_len=5, submit_len=0)
+        with pytest.raises(CctpError):
+            EpochSchedule(start_block=0, epoch_len=5, submit_len=6)
+        EpochSchedule(start_block=0, epoch_len=5, submit_len=5)  # boundary ok
+
+    def test_start_block_non_negative(self):
+        with pytest.raises(CctpError):
+            EpochSchedule(start_block=-1, epoch_len=5, submit_len=1)
+
+
+class TestEpochMapping:
+    def test_epoch_of_height(self, schedule):
+        assert schedule.epoch_of_height(10) == 0
+        assert schedule.epoch_of_height(14) == 0
+        assert schedule.epoch_of_height(15) == 1
+        assert schedule.epoch_of_height(24) == 2
+
+    def test_pre_activation_height_rejected(self, schedule):
+        with pytest.raises(CctpError):
+            schedule.epoch_of_height(9)
+
+    def test_epoch_boundaries(self, schedule):
+        assert schedule.first_height(0) == 10
+        assert schedule.last_height(0) == 14
+        assert schedule.first_height(3) == 25
+
+    def test_negative_epoch_rejected(self, schedule):
+        with pytest.raises(CctpError):
+            schedule.first_height(-1)
+
+    def test_index_within_epoch_is_paper_j(self, schedule):
+        # B^i_j notation: j in [0, epoch_len)
+        assert schedule.index_within_epoch(10) == 0
+        assert schedule.index_within_epoch(14) == 4
+        assert schedule.index_within_epoch(15) == 0
+
+    def test_boundaries_partition_heights(self, schedule):
+        for height in range(10, 60):
+            epoch = schedule.epoch_of_height(height)
+            assert schedule.first_height(epoch) <= height <= schedule.last_height(epoch)
+
+
+class TestSubmissionWindow:
+    def test_window_is_first_submit_len_blocks_of_next_epoch(self, schedule):
+        assert list(schedule.submission_window(0)) == [15, 16]
+        assert list(schedule.submission_window(2)) == [25, 26]
+
+    def test_in_submission_window(self, schedule):
+        assert schedule.in_submission_window(0, 15)
+        assert schedule.in_submission_window(0, 16)
+        assert not schedule.in_submission_window(0, 14)
+        assert not schedule.in_submission_window(0, 17)
+
+    def test_submittable_epoch(self, schedule):
+        assert schedule.submittable_epoch(14) is None  # epoch 0 not over
+        assert schedule.submittable_epoch(15) == 0
+        assert schedule.submittable_epoch(16) == 0
+        assert schedule.submittable_epoch(17) is None  # window closed
+        assert schedule.submittable_epoch(20) == 1
+
+    def test_no_submittable_epoch_before_first_epoch_ends(self, schedule):
+        assert schedule.submittable_epoch(10) is None
+        assert schedule.submittable_epoch(12) is None
+
+
+class TestCeasing:
+    def test_ceasing_height_is_first_block_after_window(self, schedule):
+        assert schedule.ceasing_height(0) == 17
+        assert schedule.ceasing_height(1) == 22
+
+    def test_window_and_ceasing_are_disjoint(self, schedule):
+        for epoch in range(4):
+            window = schedule.submission_window(epoch)
+            assert schedule.ceasing_height(epoch) == window[-1] + 1
+
+
+class TestActivation:
+    def test_is_active_at(self, schedule):
+        assert not schedule.is_active_at(9)
+        assert schedule.is_active_at(10)
+        assert schedule.is_active_at(1000)
+
+    def test_unaligned_sidechains_are_independent(self):
+        # Two sidechains created at different heights run asynchronously.
+        a = EpochSchedule(start_block=10, epoch_len=5, submit_len=2)
+        b = EpochSchedule(start_block=12, epoch_len=7, submit_len=3)
+        assert a.last_height(0) != b.last_height(0)
+        assert list(a.submission_window(0)) != list(b.submission_window(0))

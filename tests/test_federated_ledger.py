@@ -1,0 +1,151 @@
+"""Unit tests for the federated account ledger (repro.federated.ledger)."""
+
+import pytest
+
+from repro.errors import StateTransitionError
+from repro.federated.ledger import (
+    AccountLedger,
+    AccountTransfer,
+    sign_transfer,
+    sign_withdrawal_request,
+)
+from repro.crypto.signatures import Signature
+
+
+@pytest.fixture
+def ledger(keys):
+    ledger = AccountLedger()
+    ledger.deposit(keys["alice"].address, 1000)
+    return ledger
+
+
+class TestDeposits:
+    def test_deposit_credits(self, ledger, keys):
+        assert ledger.balance_of(keys["alice"].address) == 1000
+        assert ledger.total_supply() == 1000
+
+    def test_deposits_accumulate(self, ledger, keys):
+        ledger.deposit(keys["alice"].address, 500)
+        assert ledger.balance_of(keys["alice"].address) == 1500
+
+    def test_non_positive_deposit_rejected(self, ledger, keys):
+        with pytest.raises(StateTransitionError):
+            ledger.deposit(keys["alice"].address, 0)
+
+
+class TestTransfers:
+    def test_valid_transfer(self, ledger, keys):
+        tx = sign_transfer(keys["alice"], keys["bob"].address, 400, 0)
+        ledger.apply_transfer(tx)
+        assert ledger.balance_of(keys["alice"].address) == 600
+        assert ledger.balance_of(keys["bob"].address) == 400
+        assert ledger.sequence_of(keys["alice"].address) == 1
+
+    def test_replay_rejected_by_sequence(self, ledger, keys):
+        tx = sign_transfer(keys["alice"], keys["bob"].address, 400, 0)
+        ledger.apply_transfer(tx)
+        with pytest.raises(StateTransitionError):
+            ledger.apply_transfer(tx)
+
+    def test_out_of_order_sequence_rejected(self, ledger, keys):
+        tx = sign_transfer(keys["alice"], keys["bob"].address, 400, 5)
+        with pytest.raises(StateTransitionError):
+            ledger.apply_transfer(tx)
+
+    def test_overdraft_rejected(self, ledger, keys):
+        tx = sign_transfer(keys["alice"], keys["bob"].address, 1001, 0)
+        with pytest.raises(StateTransitionError):
+            ledger.apply_transfer(tx)
+
+    def test_forged_signature_rejected(self, ledger, keys):
+        honest = sign_transfer(keys["alice"], keys["bob"].address, 400, 0)
+        forged = AccountTransfer(
+            sender_pubkey=honest.sender_pubkey,
+            receiver=keys["mallory"].address,  # redirect
+            amount=honest.amount,
+            sequence=honest.sequence,
+            signature=honest.signature,
+        )
+        with pytest.raises(StateTransitionError):
+            ledger.apply_transfer(forged)
+
+    def test_placeholder_signature_rejected(self, ledger, keys):
+        fake = AccountTransfer(
+            sender_pubkey=keys["alice"].public,
+            receiver=keys["bob"].address,
+            amount=1,
+            sequence=0,
+            signature=Signature(e=1, s=1),
+        )
+        with pytest.raises(StateTransitionError):
+            ledger.apply_transfer(fake)
+
+    def test_drained_account_removed(self, ledger, keys):
+        tx = sign_transfer(keys["alice"], keys["bob"].address, 1000, 0)
+        ledger.apply_transfer(tx)
+        assert ledger.balance_of(keys["alice"].address) == 0
+        assert ledger.total_supply() == 1000
+
+
+class TestWithdrawals:
+    def test_withdrawal_queues_bt(self, ledger, keys):
+        req = sign_withdrawal_request(keys["alice"], keys["alice"].address, 300, 0)
+        ledger.apply_withdrawal(req)
+        assert ledger.balance_of(keys["alice"].address) == 700
+        assert len(ledger.pending_withdrawals) == 1
+        assert ledger.pending_withdrawals[0].amount == 300
+
+    def test_withdrawal_shares_sequence_space(self, ledger, keys):
+        ledger.apply_withdrawal(
+            sign_withdrawal_request(keys["alice"], keys["alice"].address, 300, 0)
+        )
+        # next op (transfer or withdrawal) must use sequence 1
+        with pytest.raises(StateTransitionError):
+            ledger.apply_transfer(
+                sign_transfer(keys["alice"], keys["bob"].address, 100, 0)
+            )
+        ledger.apply_transfer(
+            sign_transfer(keys["alice"], keys["bob"].address, 100, 1)
+        )
+
+    def test_epoch_reset_drains_queue(self, ledger, keys):
+        ledger.apply_withdrawal(
+            sign_withdrawal_request(keys["alice"], keys["alice"].address, 300, 0)
+        )
+        ledger.start_new_epoch()
+        assert ledger.pending_withdrawals == []
+
+    def test_withdrawal_overdraft_rejected(self, ledger, keys):
+        with pytest.raises(StateTransitionError):
+            ledger.apply_withdrawal(
+                sign_withdrawal_request(keys["alice"], keys["alice"].address, 1001, 0)
+            )
+
+
+class TestDigest:
+    def test_digest_changes_with_state(self, ledger, keys):
+        before = ledger.digest()
+        ledger.deposit(keys["bob"].address, 1)
+        assert ledger.digest() != before
+
+    def test_digest_includes_pending_withdrawals(self, ledger, keys):
+        before = ledger.digest()
+        ledger.apply_withdrawal(
+            sign_withdrawal_request(keys["alice"], keys["alice"].address, 300, 0)
+        )
+        after_queue = ledger.digest()
+        assert after_queue != before
+
+    def test_digest_deterministic_in_content(self, keys):
+        a, b = AccountLedger(), AccountLedger()
+        a.deposit(keys["alice"].address, 5)
+        a.deposit(keys["bob"].address, 7)
+        b.deposit(keys["bob"].address, 7)
+        b.deposit(keys["alice"].address, 5)
+        assert a.digest() == b.digest()
+
+    def test_copy_independent(self, ledger, keys):
+        clone = ledger.copy()
+        clone.deposit(keys["bob"].address, 5)
+        assert ledger.balance_of(keys["bob"].address) == 0
+        assert ledger.digest() != clone.digest()

@@ -1,0 +1,280 @@
+"""Integration tests for the federated sidechain (repro.federated).
+
+The central assertion: a sidechain with a completely different internal
+construction (no blocks, no consensus, threshold-signature certificates)
+speaks the same CCTP to the same unmodified mainchain.
+"""
+
+import pytest
+
+from repro.core.cctp import SidechainStatus
+from repro.crypto.keys import KeyPair
+from repro.errors import UnsatisfiedConstraint, ZendooError
+from repro.federated import (
+    FederatedNode,
+    FederatedWCertCircuit,
+    FederatedWCertWitness,
+    Federation,
+    certificate_message,
+    collect_signatures,
+    federated_sidechain_config,
+    federation_from_seeds,
+    sign_transfer,
+    sign_withdrawal_request,
+)
+from repro.mainchain.node import MainchainNode
+from repro.mainchain.params import MainchainParams
+from repro.mainchain.transaction import CswTx, SidechainDeclarationTx, TransactionBuilder
+from repro.snark import proving
+
+ALICE = KeyPair.from_seed("fed-test/alice")
+BOB = KeyPair.from_seed("fed-test/bob")
+
+
+@pytest.fixture
+def deployment(keys):
+    mc = MainchainNode(MainchainParams(pow_zero_bits=2, coinbase_maturity=1))
+    miner = keys["miner"]
+    mc.mine_blocks(miner.address, 2)
+    federation, member_keys = federation_from_seeds(["a", "b", "c", "d", "e"], 3)
+    config = federated_sidechain_config(
+        "fed-test",
+        start_block=mc.height + 2,
+        epoch_len=4,
+        submit_len=2,
+        federation=federation,
+    )
+    mc.submit_transaction(SidechainDeclarationTx(config=config))
+    mc.mine_block(miner.address)
+    node = FederatedNode(config, mc, federation, member_keys)
+
+    def advance(blocks=1):
+        for _ in range(blocks):
+            mc.mine_block(miner.address)
+            node.sync()
+
+    def fund(receiver_addr, amount):
+        op, coin = mc.state.utxos.coins_of(miner.address)[0]
+        tx = (
+            TransactionBuilder()
+            .spend(op, miner, coin.output.amount)
+            .forward_transfer(config.ledger_id, receiver_addr, amount)
+            .change_to(miner.address)
+            .build()
+        )
+        mc.submit_transaction(tx)
+        advance(1)
+
+    return mc, node, config, advance, fund
+
+
+class TestLifecycle:
+    def test_ft_deposits_to_account(self, deployment):
+        mc, node, config, advance, fund = deployment
+        fund(ALICE.address, 5000)
+        assert node.balance_of(ALICE.address) == 5000
+        assert mc.state.cctp.balance(config.ledger_id) == 5000
+
+    def test_instant_transfers_no_blocks(self, deployment):
+        mc, node, config, advance, fund = deployment
+        fund(ALICE.address, 5000)
+        node.submit_transfer(sign_transfer(ALICE, BOB.address, 2000, 0))
+        # no mining needed: the sidechain is not a blockchain
+        assert node.balance_of(BOB.address) == 2000
+
+    def test_certificates_adopted_by_unmodified_mc(self, deployment):
+        mc, node, config, advance, fund = deployment
+        fund(ALICE.address, 5000)
+        advance(8)
+        entry = mc.state.cctp.entry(config.ledger_id)
+        assert len(entry.certificates) >= 2
+        assert entry.status is SidechainStatus.ACTIVE
+
+    def test_withdrawal_round_trip(self, deployment):
+        mc, node, config, advance, fund = deployment
+        fund(ALICE.address, 5000)
+        node.submit_withdrawal(
+            sign_withdrawal_request(ALICE, BOB.address, 3000, 0)
+        )
+        advance(10)
+        assert mc.state.utxos.balance_of(BOB.address) == 3000
+        assert mc.state.cctp.balance(config.ledger_id) == 2000
+
+    def test_csw_after_ceasing(self, deployment):
+        mc, node, config, advance, fund = deployment
+        fund(ALICE.address, 5000)
+        advance(4)
+        node.auto_submit_certificates = False
+        advance(8)
+        assert mc.state.cctp.status(config.ledger_id) is SidechainStatus.CEASED
+        csw = node.make_csw(ALICE.address, 5000)
+        mc.submit_transaction(CswTx(csw=csw))
+        advance(1)
+        assert mc.state.utxos.balance_of(ALICE.address) == 5000
+
+    def test_mc_reorg_rebuilds_ledger(self, deployment, keys):
+        mc, node, config, advance, fund = deployment
+        fund(ALICE.address, 5000)
+        advance(2)  # bury the FT below the coming fork point
+        node.submit_transfer(sign_transfer(ALICE, BOB.address, 1000, 0))
+        from tests.test_mainchain_chain import make_block
+
+        fork_point = mc.chain.block_at_height(mc.height - 1)
+        parent = fork_point
+        for i in range(3):
+            block = make_block(parent, params=mc.params, ts=9000 + i)
+            mc.chain.add_block(block)
+            parent = block
+        node.sync()
+        # the FT was mined before the fork point: deposits and the replayed
+        # transfer survive
+        assert node.balance_of(BOB.address) == 1000
+        assert node.synced_mc_height == mc.height
+
+
+class TestQuorumEnforcement:
+    def _witness(self, config, federation, member_keys, signer_count):
+        bt_list = ()
+        message = certificate_message(
+            config.ledger_id, 0, 1, bt_list, b"\x01" * 32, 42
+        )
+        return FederatedWCertWitness(
+            ledger_id=config.ledger_id,
+            epoch_id=0,
+            quality=1,
+            bt_list=bt_list,
+            h_epoch_last=b"\x01" * 32,
+            state_digest=42,
+            signatures=collect_signatures(member_keys[:signer_count], message),
+        )
+
+    def _public(self, config, witness):
+        from repro.core.transfers import WithdrawalCertificate
+        from repro.core.transfers import proofdata_root
+
+        draft = WithdrawalCertificate(
+            ledger_id=config.ledger_id,
+            epoch_id=0,
+            quality=1,
+            bt_list=(),
+            proofdata=(42,),
+            proof=proving.Proof(data=bytes(proving.PROOF_SIZE)),
+        )
+        return draft.public_input(b"\x00" * 32, b"\x01" * 32)
+
+    def test_threshold_met_proves(self, deployment):
+        mc, node, config, advance, fund = deployment
+        witness = self._witness(config, node.federation, node.member_keys, 3)
+        pk, vk = proving.setup(FederatedWCertCircuit(node.federation))
+        proof = proving.prove(pk, self._public(config, witness), witness)
+        assert proving.verify(vk, self._public(config, witness), proof)
+
+    def test_below_threshold_cannot_prove(self, deployment):
+        mc, node, config, advance, fund = deployment
+        witness = self._witness(config, node.federation, node.member_keys, 2)
+        pk, _ = proving.setup(FederatedWCertCircuit(node.federation))
+        with pytest.raises(UnsatisfiedConstraint):
+            proving.prove(pk, self._public(config, witness), witness)
+
+    def test_duplicate_signer_does_not_count_twice(self, deployment):
+        mc, node, config, advance, fund = deployment
+        witness = self._witness(config, node.federation, node.member_keys, 2)
+        # duplicate the first signature to fake a third voice
+        padded = FederatedWCertWitness(
+            ledger_id=witness.ledger_id,
+            epoch_id=witness.epoch_id,
+            quality=witness.quality,
+            bt_list=witness.bt_list,
+            h_epoch_last=witness.h_epoch_last,
+            state_digest=witness.state_digest,
+            signatures=witness.signatures + (witness.signatures[0],),
+        )
+        pk, _ = proving.setup(FederatedWCertCircuit(node.federation))
+        with pytest.raises(UnsatisfiedConstraint):
+            proving.prove(pk, self._public(config, padded), padded)
+
+    def test_foreign_federation_signatures_rejected(self, deployment):
+        mc, node, config, advance, fund = deployment
+        impostors = [KeyPair.from_seed(f"impostor/{i}") for i in range(3)]
+        message = certificate_message(
+            config.ledger_id, 0, 1, (), b"\x01" * 32, 42
+        )
+        witness = FederatedWCertWitness(
+            ledger_id=config.ledger_id,
+            epoch_id=0,
+            quality=1,
+            bt_list=(),
+            h_epoch_last=b"\x01" * 32,
+            state_digest=42,
+            signatures=collect_signatures(impostors, message),
+        )
+        pk, _ = proving.setup(FederatedWCertCircuit(node.federation))
+        with pytest.raises(UnsatisfiedConstraint):
+            proving.prove(pk, self._public(config, witness), witness)
+
+    def test_different_federations_get_different_keys(self):
+        fed_a, _ = federation_from_seeds(["a", "b", "c"], 2)
+        fed_b, _ = federation_from_seeds(["x", "y", "z"], 2)
+        _, vk_a = proving.setup(FederatedWCertCircuit(fed_a))
+        _, vk_b = proving.setup(FederatedWCertCircuit(fed_b))
+        assert vk_a.key_id != vk_b.key_id
+
+    def test_threshold_change_changes_keys(self):
+        fed_2, _ = federation_from_seeds(["a", "b", "c"], 2)
+        fed_3, _ = federation_from_seeds(["a", "b", "c"], 3)
+        _, vk_2 = proving.setup(FederatedWCertCircuit(fed_2))
+        _, vk_3 = proving.setup(FederatedWCertCircuit(fed_3))
+        assert vk_2.key_id != vk_3.key_id
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            federation_from_seeds(["a", "b"], 3)
+
+
+class TestFlexibilityClaim:
+    def test_latus_and_federated_share_one_mainchain(self, keys):
+        """The decoupling thesis in one test: both sidechain constructions,
+        with incompatible internals, run against a single unmodified MC."""
+        from repro.scenarios import ZendooHarness
+
+        harness = ZendooHarness(miner_seed="flex/miner")
+        harness.mine(2)
+        latus = harness.create_sidechain("flex-latus", epoch_len=4, submit_len=2)
+
+        federation, member_keys = federation_from_seeds(["p", "q", "r"], 2)
+        config = federated_sidechain_config(
+            "flex-federated",
+            start_block=harness.mc.height + 2,
+            epoch_len=5,
+            submit_len=2,
+            federation=federation,
+        )
+        harness.mc.submit_transaction(SidechainDeclarationTx(config=config))
+        fed_node = FederatedNode(config, harness.mc, federation, member_keys)
+        # let the federated sidechain reach its start_block before funding
+        while harness.mc.height < config.start_block - 1:
+            harness.mine(1)
+            fed_node.sync()
+
+        alice = KeyPair.from_seed("flex/alice")
+        harness.forward_transfer(latus, alice, 111)
+        op, coin = harness.miner_coin()
+        tx = (
+            TransactionBuilder()
+            .spend(op, harness.miner, coin.output.amount)
+            .forward_transfer(config.ledger_id, alice.address, 222)
+            .change_to(harness.miner.address)
+            .build()
+        )
+        harness.mc.submit_transaction(tx)
+        for _ in range(12):
+            harness.mine(1)
+            fed_node.sync()
+
+        cctp = harness.mc.state.cctp
+        assert cctp.balance(latus.ledger_id) == 111
+        assert cctp.balance(config.ledger_id) == 222
+        assert cctp.entry(latus.ledger_id).certificates
+        assert cctp.entry(config.ledger_id).certificates
+        assert harness.wallet(latus, alice).balance() == 111
+        assert fed_node.balance_of(alice.address) == 222

@@ -1,0 +1,140 @@
+"""Unit tests for fixed-depth field trees (repro.crypto.fixed_merkle)."""
+
+import pytest
+
+from repro.crypto.fixed_merkle import (
+    EMPTY_LEAF,
+    FieldMerkleProof,
+    FixedMerkleTree,
+    empty_root,
+)
+from repro.errors import MerkleError
+
+
+class TestEmptyRoots:
+    def test_depth_zero_is_empty_leaf(self):
+        assert empty_root(0) == EMPTY_LEAF
+
+    def test_increasing_depths_differ(self):
+        roots = {empty_root(d) for d in range(6)}
+        assert len(roots) == 6
+
+    def test_negative_depth_raises(self):
+        with pytest.raises(MerkleError):
+            empty_root(-1)
+
+    def test_fresh_tree_root_matches_empty_root(self):
+        assert FixedMerkleTree(5).root == empty_root(5)
+
+
+class TestConstruction:
+    def test_capacity(self):
+        assert FixedMerkleTree(4).capacity == 16
+
+    def test_depth_bounds(self):
+        with pytest.raises(MerkleError):
+            FixedMerkleTree(0)
+        with pytest.raises(MerkleError):
+            FixedMerkleTree(64)
+
+
+class TestLeafOperations:
+    def test_set_get_roundtrip(self):
+        tree = FixedMerkleTree(6)
+        tree.set_leaf(13, 999)
+        assert tree.get_leaf(13) == 999
+        assert tree.is_occupied(13)
+        assert not tree.is_occupied(12)
+
+    def test_root_changes_on_write(self):
+        tree = FixedMerkleTree(6)
+        before = tree.root
+        tree.set_leaf(0, 1)
+        assert tree.root != before
+
+    def test_clear_restores_empty_root(self):
+        tree = FixedMerkleTree(6)
+        empty = tree.root
+        tree.set_leaf(5, 42)
+        tree.clear_leaf(5)
+        assert tree.root == empty
+        assert tree.occupied_count == 0
+
+    def test_occupied_tracking(self):
+        tree = FixedMerkleTree(5)
+        tree.set_leaf(1, 10)
+        tree.set_leaf(7, 20)
+        tree.set_leaf(1, 30)  # overwrite, not new slot
+        assert tree.occupied_count == 2
+        assert tree.occupied_positions() == [1, 7]
+
+    def test_position_bounds(self):
+        tree = FixedMerkleTree(3)
+        with pytest.raises(MerkleError):
+            tree.set_leaf(8, 1)
+        with pytest.raises(MerkleError):
+            tree.get_leaf(-1)
+
+    def test_same_content_same_root(self):
+        a, b = FixedMerkleTree(5), FixedMerkleTree(5)
+        for t in (a, b):
+            t.set_leaf(3, 7)
+            t.set_leaf(9, 8)
+        assert a.root == b.root
+        assert a == b
+
+    def test_write_order_does_not_matter(self):
+        a, b = FixedMerkleTree(5), FixedMerkleTree(5)
+        a.set_leaf(3, 7)
+        a.set_leaf(9, 8)
+        b.set_leaf(9, 8)
+        b.set_leaf(3, 7)
+        assert a.root == b.root
+
+
+class TestProofs:
+    def test_membership_proof(self):
+        tree = FixedMerkleTree(8)
+        tree.set_leaf(200, 123)
+        proof = tree.prove(200)
+        assert proof.leaf == 123
+        assert proof.depth == 8
+        assert proof.verify(tree.root)
+
+    def test_non_membership_opening(self):
+        tree = FixedMerkleTree(8)
+        tree.set_leaf(3, 5)
+        proof = tree.prove(100)
+        assert proof.leaf == EMPTY_LEAF
+        assert proof.verify(tree.root)
+
+    def test_proof_invalid_after_update(self):
+        tree = FixedMerkleTree(6)
+        tree.set_leaf(10, 1)
+        proof = tree.prove(10)
+        tree.set_leaf(11, 2)
+        assert not proof.verify(tree.root)
+
+    def test_tampered_leaf_fails(self):
+        tree = FixedMerkleTree(6)
+        tree.set_leaf(10, 1)
+        proof = tree.prove(10)
+        bad = FieldMerkleProof(leaf=2, position=10, siblings=proof.siblings)
+        assert not bad.verify(tree.root)
+
+    def test_wrong_position_fails(self):
+        tree = FixedMerkleTree(6)
+        tree.set_leaf(10, 1)
+        proof = tree.prove(10)
+        bad = FieldMerkleProof(leaf=proof.leaf, position=11, siblings=proof.siblings)
+        assert not bad.verify(tree.root)
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        tree = FixedMerkleTree(5)
+        tree.set_leaf(2, 9)
+        clone = tree.copy()
+        clone.set_leaf(3, 1)
+        assert tree.root != clone.root
+        assert not tree.is_occupied(3)

@@ -1,0 +1,154 @@
+"""Unit tests for R1CS gadgets (repro.snark.gadgets)."""
+
+import pytest
+
+from repro.crypto.fixed_merkle import FieldMerkleProof, FixedMerkleTree
+from repro.crypto.mimc import ROUNDS, mimc_compress, mimc_hash, mimc_permutation
+from repro.errors import UnsatisfiedConstraint
+from repro.snark.circuit import CircuitBuilder
+from repro.snark.gadgets.arith import (
+    alloc_amount,
+    enforce_conservation,
+    enforce_less_or_equal,
+    enforce_sum_with_fee,
+)
+from repro.snark.gadgets.merkle import enforce_merkle_membership, merkle_path_gadget
+from repro.snark.gadgets.mimc import (
+    mimc_compress_gadget,
+    mimc_hash_gadget,
+    mimc_permutation_gadget,
+)
+
+
+class TestMimcGadgets:
+    def test_permutation_matches_native(self):
+        b = CircuitBuilder()
+        out = mimc_permutation_gadget(b, b.alloc(11), b.alloc(22))
+        assert out.value == mimc_permutation(11, 22)
+
+    def test_permutation_constraint_count(self):
+        b = CircuitBuilder()
+        mimc_permutation_gadget(b, b.alloc(1), b.alloc(2))
+        assert b.stats().num_constraints == 3 * ROUNDS
+
+    def test_compress_matches_native(self):
+        b = CircuitBuilder()
+        out = mimc_compress_gadget(b, b.alloc(3), b.alloc(4))
+        assert out.value == mimc_compress(3, 4)
+
+    def test_hash_matches_native(self):
+        values = [5, 6, 7]
+        b = CircuitBuilder()
+        out = mimc_hash_gadget(b, [b.alloc(v) for v in values])
+        assert out.value == mimc_hash(values)
+
+    def test_hash_empty_matches_native(self):
+        b = CircuitBuilder()
+        assert mimc_hash_gadget(b, []).value == mimc_hash([])
+
+
+class TestMerkleGadgets:
+    def _tree(self) -> FixedMerkleTree:
+        tree = FixedMerkleTree(6)
+        for pos, val in [(3, 100), (17, 200), (60, 300)]:
+            tree.set_leaf(pos, val)
+        return tree
+
+    def test_membership_enforced(self):
+        tree = self._tree()
+        proof = tree.prove(17)
+        b = CircuitBuilder()
+        root = b.alloc(tree.root)
+        leaf = enforce_merkle_membership(b, proof, root)
+        assert leaf.value == 200
+
+    def test_wrong_root_rejected(self):
+        tree = self._tree()
+        proof = tree.prove(17)
+        b = CircuitBuilder()
+        root = b.alloc(tree.root + 1)
+        with pytest.raises(UnsatisfiedConstraint):
+            enforce_merkle_membership(b, proof, root)
+
+    def test_tampered_leaf_rejected(self):
+        tree = self._tree()
+        proof = tree.prove(17)
+        bad = FieldMerkleProof(leaf=999, position=17, siblings=proof.siblings)
+        b = CircuitBuilder()
+        root = b.alloc(tree.root)
+        with pytest.raises(UnsatisfiedConstraint):
+            enforce_merkle_membership(b, bad, root)
+
+    def test_external_leaf_wire_binding(self):
+        tree = self._tree()
+        proof = tree.prove(3)
+        b = CircuitBuilder()
+        root = b.alloc(tree.root)
+        leaf_wire = b.alloc(100)
+        enforce_merkle_membership(b, proof, root, leaf=leaf_wire)
+
+    def test_path_gadget_cost_scales_with_depth(self):
+        tree = self._tree()
+        proof = tree.prove(3)
+        b = CircuitBuilder()
+        root = b.alloc(tree.root)
+        enforce_merkle_membership(b, proof, root)
+        per_level = 3 * ROUNDS + 3  # compression + bit + 2 selects
+        assert b.stats().num_constraints == 6 * per_level + 1
+
+    def test_empty_slot_provable(self):
+        tree = self._tree()
+        proof = tree.prove(5)  # empty slot
+        b = CircuitBuilder()
+        root = b.alloc(tree.root)
+        leaf = enforce_merkle_membership(b, proof, root)
+        assert leaf.value == 0
+
+
+class TestArithGadgets:
+    def test_alloc_amount_accepts_u64(self):
+        b = CircuitBuilder()
+        w = alloc_amount(b, (1 << 64) - 1)
+        assert w.value == (1 << 64) - 1
+
+    def test_alloc_amount_rejects_overflow(self):
+        b = CircuitBuilder()
+        with pytest.raises(UnsatisfiedConstraint):
+            alloc_amount(b, 1 << 64)
+
+    def test_conservation_exact(self):
+        b = CircuitBuilder()
+        ins = [alloc_amount(b, v) for v in (30, 20)]
+        outs = [alloc_amount(b, v) for v in (25, 25)]
+        enforce_conservation(b, ins, outs)
+
+    def test_conservation_mismatch_rejected(self):
+        b = CircuitBuilder()
+        ins = [alloc_amount(b, 50)]
+        outs = [alloc_amount(b, 49)]
+        with pytest.raises(UnsatisfiedConstraint):
+            enforce_conservation(b, ins, outs)
+
+    def test_leq_accepts_equal_and_less(self):
+        b = CircuitBuilder()
+        enforce_less_or_equal(b, alloc_amount(b, 5), alloc_amount(b, 5))
+        enforce_less_or_equal(b, alloc_amount(b, 5), alloc_amount(b, 6))
+
+    def test_leq_rejects_greater(self):
+        b = CircuitBuilder()
+        with pytest.raises(UnsatisfiedConstraint):
+            enforce_less_or_equal(b, alloc_amount(b, 7), alloc_amount(b, 6))
+
+    def test_fee_is_slack(self):
+        b = CircuitBuilder()
+        ins = [alloc_amount(b, 100)]
+        outs = [alloc_amount(b, 60), alloc_amount(b, 30)]
+        fee = enforce_sum_with_fee(b, ins, outs)
+        assert fee.value == 10
+
+    def test_outputs_exceeding_inputs_rejected(self):
+        b = CircuitBuilder()
+        ins = [alloc_amount(b, 10)]
+        outs = [alloc_amount(b, 11)]
+        with pytest.raises(UnsatisfiedConstraint):
+            enforce_sum_with_fee(b, ins, outs)

@@ -1,0 +1,43 @@
+"""Unit tests for byte-level hashing helpers (repro.crypto.hashing)."""
+
+from repro.crypto import hashing
+
+
+class TestHashBytes:
+    def test_digest_size(self):
+        assert len(hashing.hash_bytes(b"x")) == hashing.DIGEST_SIZE == 32
+
+    def test_deterministic(self):
+        assert hashing.hash_bytes(b"x") == hashing.hash_bytes(b"x")
+
+    def test_domain_separation(self):
+        assert hashing.hash_bytes(b"x", b"a") != hashing.hash_bytes(b"x", b"b")
+
+    def test_long_domain_is_clamped_not_crashing(self):
+        assert len(hashing.hash_bytes(b"x", b"d" * 40)) == 32
+
+
+class TestHashConcat:
+    def test_injective_encoding(self):
+        # ["ab", "c"] vs ["a", "bc"] must differ thanks to length prefixes.
+        assert hashing.hash_concat([b"ab", b"c"]) != hashing.hash_concat([b"a", b"bc"])
+
+    def test_empty_sequence(self):
+        assert len(hashing.hash_concat([])) == 32
+
+    def test_element_count_matters(self):
+        assert hashing.hash_concat([b""]) != hashing.hash_concat([b"", b""])
+
+
+class TestHashPair:
+    def test_order_matters(self):
+        a, b = hashing.hash_bytes(b"a"), hashing.hash_bytes(b"b")
+        assert hashing.hash_pair(a, b) != hashing.hash_pair(b, a)
+
+
+class TestHashInt:
+    def test_distinct_values(self):
+        assert hashing.hash_int(1) != hashing.hash_int(2)
+
+    def test_matches_manual_encoding(self):
+        assert hashing.hash_int(7) == hashing.hash_bytes((7).to_bytes(8, "little"))

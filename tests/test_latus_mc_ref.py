@@ -1,0 +1,153 @@
+"""Unit tests for MC block references (repro.latus.mc_ref) — §5.5.1."""
+
+import pytest
+
+from repro.core.bootstrap import SidechainConfig
+from repro.core.transfers import derive_ledger_id
+from repro.errors import ConsensusError
+from repro.latus.mc_ref import build_mc_ref, extract_sidechain_slice, verify_mc_ref
+from repro.latus.mst import MerkleStateTree
+from repro.latus.transactions import pack_receiver_metadata
+from repro.mainchain.node import MainchainNode
+from repro.mainchain.params import MainchainParams
+from repro.mainchain.transaction import SidechainDeclarationTx, TransactionBuilder
+from repro.snark import proving
+from repro.snark.circuit import Circuit
+
+PARAMS = MainchainParams(pow_zero_bits=2, coinbase_maturity=1)
+LEDGER = derive_ledger_id("mcref-sc")
+OTHER = derive_ledger_id("mcref-other")
+
+
+class _Vk(Circuit):
+    circuit_id = "test/mcref-vk"
+
+    def synthesize(self, b, public, witness):
+        b.alloc_publics(public)
+
+
+@pytest.fixture
+def node(keys):
+    node = MainchainNode(PARAMS)
+    node.mine_blocks(keys["miner"].address, 2)
+    vk = proving.setup(_Vk())[1]
+    for ledger in (LEDGER, OTHER):
+        node.submit_transaction(
+            SidechainDeclarationTx(
+                config=SidechainConfig(
+                    ledger_id=ledger,
+                    start_block=node.height + 2,
+                    epoch_len=10,
+                    submit_len=2,
+                    wcert_vk=vk,
+                )
+            )
+        )
+    node.mine_block(keys["miner"].address)
+    return node
+
+
+def send_ft(node, keys, ledger, amount=1000):
+    op, coin = node.state.utxos.coins_of(keys["miner"].address)[0]
+    metadata = pack_receiver_metadata(keys["alice"].address, keys["alice"].address)
+    tx = (
+        TransactionBuilder()
+        .spend(op, keys["miner"], coin.output.amount)
+        .forward_transfer(ledger, metadata, amount)
+        .change_to(keys["miner"].address)
+        .build()
+    )
+    node.submit_transaction(tx)
+
+
+class TestExtraction:
+    def test_slice_filters_by_ledger(self, node, keys):
+        send_ft(node, keys, LEDGER)
+        node.mine_block(keys["miner"].address)
+        node.mine_block(keys["miner"].address)
+        block = node.chain.block_at_height(node.height - 1)
+        fts, btrs, wcert = extract_sidechain_slice(block, LEDGER)
+        assert len(fts) == 1 and not btrs and wcert is None
+        fts_other, _, _ = extract_sidechain_slice(block, OTHER)
+        assert not fts_other
+
+
+class TestBuildAndVerify:
+    def test_reference_with_data_verifies(self, node, keys):
+        send_ft(node, keys, LEDGER)
+        block = node.mine_block(keys["miner"].address)
+        mst = MerkleStateTree(8)
+        ref = build_mc_ref(block, LEDGER, mst)
+        assert ref.has_data
+        assert ref.mproof is not None and ref.proof_of_no_data is None
+        assert ref.forward_transfers is not None
+        verify_mc_ref(ref, LEDGER)  # no raise
+
+    def test_reference_without_data_uses_absence_proof(self, node, keys):
+        send_ft(node, keys, LEDGER)
+        block = node.mine_block(keys["miner"].address)
+        ref = build_mc_ref(block, OTHER, MerkleStateTree(8))
+        assert not ref.has_data
+        assert ref.proof_of_no_data is not None
+        verify_mc_ref(ref, OTHER)
+
+    def test_reference_for_fully_empty_block(self, node, keys):
+        block = node.mine_block(keys["miner"].address)
+        ref = build_mc_ref(block, LEDGER, MerkleStateTree(8))
+        assert not ref.has_data
+        verify_mc_ref(ref, LEDGER)
+
+    def test_tampered_ftt_detected(self, node, keys):
+        from dataclasses import replace
+
+        send_ft(node, keys, LEDGER)
+        block = node.mine_block(keys["miner"].address)
+        ref = build_mc_ref(block, LEDGER, MerkleStateTree(8))
+        # drop the FT from the derived transaction: commitment check must fail
+        tampered = replace(
+            ref,
+            forward_transfers=replace(ref.forward_transfers, transfers=()),
+        )
+        with pytest.raises(ConsensusError):
+            verify_mc_ref(tampered, LEDGER)
+
+    def test_wrong_ledger_mproof_detected(self, node, keys):
+        send_ft(node, keys, LEDGER)
+        block = node.mine_block(keys["miner"].address)
+        ref = build_mc_ref(block, LEDGER, MerkleStateTree(8))
+        with pytest.raises(ConsensusError):
+            verify_mc_ref(ref, OTHER)
+
+    def test_missing_mproof_detected(self, node, keys):
+        from dataclasses import replace
+
+        send_ft(node, keys, LEDGER)
+        block = node.mine_block(keys["miner"].address)
+        ref = build_mc_ref(block, LEDGER, MerkleStateTree(8))
+        with pytest.raises(ConsensusError):
+            verify_mc_ref(replace(ref, mproof=None), LEDGER)
+
+    def test_derived_tx_bound_to_block(self, node, keys):
+        from dataclasses import replace
+
+        send_ft(node, keys, LEDGER)
+        block = node.mine_block(keys["miner"].address)
+        ref = build_mc_ref(block, LEDGER, MerkleStateTree(8))
+        wrong_block_tx = replace(ref.forward_transfers, mc_block_id=b"\x00" * 32)
+        with pytest.raises(ConsensusError):
+            verify_mc_ref(replace(ref, forward_transfers=wrong_block_tx), LEDGER)
+
+    def test_ftt_outputs_depend_on_state(self, node, keys):
+        # a pre-occupied slot turns the FT into a rejection
+        send_ft(node, keys, LEDGER)
+        block = node.mine_block(keys["miner"].address)
+        fts, _, _ = extract_sidechain_slice(block, LEDGER)
+        from repro.latus.transactions import ft_output
+        from repro.latus.utxo import Utxo
+
+        expected = ft_output(fts[0], keys["alice"].address)
+        mst = MerkleStateTree(8)
+        mst.add(Utxo(addr=1, amount=1, nonce=expected.nonce))  # blocker
+        ref = build_mc_ref(block, LEDGER, mst)
+        assert not ref.forward_transfers.outputs
+        assert len(ref.forward_transfers.rejected) == 1

@@ -1,0 +1,117 @@
+"""Unit tests for the Merkle State Tree (repro.latus.mst) — §5.2, Fig. 9."""
+
+import pytest
+
+from repro.errors import MstError
+from repro.latus.mst import MerkleStateTree
+from repro.latus.utxo import Utxo
+
+
+def utxo(nonce: int, amount: int = 10) -> Utxo:
+    return Utxo(addr=7, amount=amount, nonce=nonce)
+
+
+@pytest.fixture
+def mst() -> MerkleStateTree:
+    return MerkleStateTree(depth=8)
+
+
+class TestAddRemove:
+    def test_add_then_contains(self, mst):
+        u = utxo(1)
+        position = mst.add(u)
+        assert mst.contains(u)
+        assert mst.slot_occupied(position)
+        assert mst.occupied_count == 1
+
+    def test_remove_restores_empty(self, mst):
+        empty_root = mst.root
+        u = utxo(1)
+        mst.add(u)
+        mst.remove(u)
+        assert mst.root == empty_root
+        assert not mst.contains(u)
+
+    def test_collision_rejected(self, mst):
+        u = utxo(1)
+        mst.add(u)
+        # a different utxo landing on the same slot (same nonce => same slot)
+        other = Utxo(addr=9, amount=99, nonce=1)
+        assert not mst.can_add(other)
+        with pytest.raises(MstError):
+            mst.add(other)
+
+    def test_remove_wrong_utxo_rejected(self, mst):
+        mst.add(utxo(1))
+        with pytest.raises(MstError):
+            mst.remove(Utxo(addr=9, amount=99, nonce=1))
+
+    def test_remove_absent_rejected(self, mst):
+        with pytest.raises(MstError):
+            mst.remove(utxo(5))
+
+    def test_root_deterministic_in_content(self):
+        a, b = MerkleStateTree(8), MerkleStateTree(8)
+        a.add(utxo(1))
+        a.add(utxo(2))
+        b.add(utxo(2))
+        b.add(utxo(1))
+        assert a.root == b.root
+
+    def test_capacity(self, mst):
+        assert mst.capacity == 256
+
+
+class TestProofs:
+    def test_membership_proof_verifies(self, mst):
+        u = utxo(3)
+        mst.add(u)
+        proof = mst.prove(u)
+        assert proof.leaf == u.leaf_value
+        assert proof.verify(mst.root)
+
+    def test_prove_absent_rejected(self, mst):
+        with pytest.raises(MstError):
+            mst.prove(utxo(3))
+
+    def test_prove_position_for_empty_slot(self, mst):
+        proof = mst.prove_position(17)
+        assert proof.leaf == 0
+        assert proof.verify(mst.root)
+
+    def test_old_proof_fails_after_change(self, mst):
+        u = utxo(3)
+        mst.add(u)
+        proof = mst.prove(u)
+        mst.add(utxo(4))
+        assert not proof.verify(mst.root)
+
+
+class TestTouchedTracking:
+    def test_add_and_remove_touch(self, mst):
+        u = utxo(1)
+        p1 = mst.add(u)
+        p2 = mst.add(utxo(2))
+        mst.remove(u)
+        assert mst.touched_positions == {p1, p2}
+
+    def test_reset_touched(self, mst):
+        mst.add(utxo(1))
+        mst.reset_touched()
+        assert mst.touched_positions == frozenset()
+        p = mst.add(utxo(2))
+        assert mst.touched_positions == {p}
+
+
+class TestCopy:
+    def test_copy_independent(self, mst):
+        mst.add(utxo(1))
+        clone = mst.copy()
+        clone.add(utxo(2))
+        assert mst.root != clone.root
+        assert mst.occupied_count == 1
+        assert clone.occupied_count == 2
+
+    def test_copy_preserves_touched(self, mst):
+        p = mst.add(utxo(1))
+        assert mst.copy().touched_positions == {p}

@@ -1,0 +1,54 @@
+"""Unit tests for Latus UTXOs (repro.latus.utxo) — §5.2."""
+
+import pytest
+
+from repro.crypto.field import element_from_bytes
+from repro.crypto.mimc import mimc_hash
+from repro.errors import LatusError
+from repro.latus.utxo import Utxo, address_to_field, derive_nonce
+
+
+class TestUtxo:
+    def test_leaf_value_is_mimc_of_triple(self):
+        u = Utxo(addr=1, amount=2, nonce=3)
+        assert u.leaf_value == mimc_hash((1, 2, 3))
+
+    def test_position_is_function_of_nonce_only(self):
+        a = Utxo(addr=1, amount=2, nonce=42)
+        b = Utxo(addr=9, amount=7, nonce=42)
+        assert a.position(10) == b.position(10)
+
+    def test_position_in_range(self):
+        for nonce in range(20):
+            assert 0 <= Utxo(addr=0, amount=0, nonce=nonce).position(6) < 64
+
+    def test_nullifier_is_serialized_leaf(self):
+        u = Utxo(addr=1, amount=2, nonce=3)
+        assert element_from_bytes(u.nullifier) == u.leaf_value
+
+    def test_amount_bounds(self):
+        Utxo(addr=0, amount=(1 << 64) - 1, nonce=0)
+        with pytest.raises(LatusError):
+            Utxo(addr=0, amount=1 << 64, nonce=0)
+        with pytest.raises(LatusError):
+            Utxo(addr=0, amount=-1, nonce=0)
+
+    def test_encoding_distinct(self):
+        assert (
+            Utxo(addr=1, amount=2, nonce=3).encode()
+            != Utxo(addr=1, amount=2, nonce=4).encode()
+        )
+
+    def test_field_elements_view(self):
+        assert Utxo(addr=1, amount=2, nonce=3).as_field_elements() == (1, 2, 3)
+
+
+class TestDerivations:
+    def test_derive_nonce_deterministic_and_injective_ish(self):
+        assert derive_nonce(b"a", b"b") == derive_nonce(b"a", b"b")
+        assert derive_nonce(b"a", b"b") != derive_nonce(b"ab", b"")
+
+    def test_address_to_field_deterministic(self, keys):
+        a = address_to_field(keys["alice"].address)
+        assert a == address_to_field(keys["alice"].address)
+        assert a != address_to_field(keys["bob"].address)

@@ -1,0 +1,137 @@
+"""Unit tests for the Latus withdrawal-certificate circuit (repro.latus.wcert).
+
+Built around a real harness run: one funded epoch produces a genuine
+witness, which is then mutated field-by-field to check that every rule of
+the §5.5.3.1 statement box is enforced.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.errors import UnsatisfiedConstraint
+from repro.latus.mst_delta import MstDelta
+from repro.scenarios import ZendooHarness
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    harness = ZendooHarness()
+    harness.mine(2)
+    sc = harness.create_sidechain("wcert-test", epoch_len=4, submit_len=2)
+    alice = KeyPair.from_seed("alice")
+    harness.forward_transfer(sc, alice, 1_000_000)
+    harness.run_epochs(sc, 1)
+    # one in-epoch payment so the epoch proof covers real transitions
+    harness.wallet(sc, alice).pay(KeyPair.from_seed("bob").address, 1000)
+    harness.run_epochs(sc, 1)
+    return harness, sc
+
+
+def rebuild(sc, witness, epoch_id):
+    node = sc.node
+    return node.cert_builder.build(
+        epoch_id=epoch_id,
+        witness=witness,
+        h_prev_epoch_last=node._epoch_boundary_hash(epoch_id - 1),
+        h_epoch_last=node._epoch_boundary_hash(epoch_id),
+    )
+
+
+class TestHonestCertificate:
+    def test_witness_was_captured(self, scenario):
+        _, sc = scenario
+        assert sc.node.last_wcert_witness is not None
+
+    def test_certificates_adopted_on_mc(self, scenario):
+        harness, sc = scenario
+        entry = harness.mc.state.cctp.entry(sc.ledger_id)
+        assert 0 in entry.certificates and 1 in entry.certificates
+
+    def test_quality_is_sc_height(self, scenario):
+        _, sc = scenario
+        witness = sc.node.last_wcert_witness
+        cert = sc.node.certificates[-1]
+        assert cert.quality == witness.last_block.height
+
+    def test_rebuild_from_honest_witness_succeeds(self, scenario):
+        _, sc = scenario
+        witness = sc.node.last_wcert_witness
+        epoch_id = len(sc.node.certificates) - 1
+        cert = rebuild(sc, witness, epoch_id)
+        assert cert.quality == witness.last_block.height
+
+
+class TestStatementEnforcement:
+    """Each mutation violates one rule of the WCert SNARK statement."""
+
+    def _witness_and_epoch(self, scenario):
+        _, sc = scenario
+        return sc, sc.node.last_wcert_witness, len(sc.node.certificates) - 1
+
+    def test_wrong_start_state_rejected(self, scenario):
+        sc, witness, epoch = self._witness_and_epoch(scenario)
+        bad = replace(witness, start_state_digest=witness.start_state_digest + 1)
+        with pytest.raises(UnsatisfiedConstraint):
+            rebuild(sc, bad, epoch)
+
+    def test_wrong_final_state_rejected(self, scenario):
+        sc, witness, epoch = self._witness_and_epoch(scenario)
+        poisoned = witness.final_state.copy()
+        from repro.latus.utxo import Utxo
+
+        poisoned.mst.add(Utxo(addr=1, amount=1, nonce=999_999))
+        bad = replace(witness, final_state=poisoned)
+        with pytest.raises(UnsatisfiedConstraint):
+            rebuild(sc, bad, epoch)
+
+    def test_forged_bt_list_rejected(self, scenario):
+        from repro.core.transfers import BackwardTransfer
+
+        sc, witness, epoch = self._witness_and_epoch(scenario)
+        forged = witness.bt_list + (
+            BackwardTransfer(receiver_addr=b"\xee" * 32, amount=12345),
+        )
+        bad = replace(witness, bt_list=forged)
+        with pytest.raises(UnsatisfiedConstraint):
+            rebuild(sc, bad, epoch)
+
+    def test_wrong_mst_delta_rejected(self, scenario):
+        sc, witness, epoch = self._witness_and_epoch(scenario)
+        wrong_delta = MstDelta.from_positions(witness.mst_delta.depth, [])
+        bad = replace(witness, mst_delta=wrong_delta)
+        with pytest.raises(UnsatisfiedConstraint):
+            rebuild(sc, bad, epoch)
+
+    def test_missing_mc_references_rejected(self, scenario):
+        sc, witness, epoch = self._witness_and_epoch(scenario)
+        bad = replace(witness, referenced_mc_hashes=witness.referenced_mc_hashes[:-1])
+        with pytest.raises(UnsatisfiedConstraint):
+            rebuild(sc, bad, epoch)
+
+    def test_no_references_rejected(self, scenario):
+        sc, witness, epoch = self._witness_and_epoch(scenario)
+        bad = replace(witness, referenced_mc_hashes=())
+        with pytest.raises(UnsatisfiedConstraint):
+            rebuild(sc, bad, epoch)
+
+    def test_tampered_epoch_proof_rejected(self, scenario):
+        sc, witness, epoch = self._witness_and_epoch(scenario)
+        forged_proof = replace(
+            witness.epoch_proof, to_digest=witness.epoch_proof.to_digest + 1
+        )
+        bad = replace(witness, epoch_proof=forged_proof)
+        with pytest.raises(UnsatisfiedConstraint):
+            rebuild(sc, bad, epoch)
+
+    def test_wrong_epoch_boundary_rejected(self, scenario):
+        sc, witness, epoch = self._witness_and_epoch(scenario)
+        node = sc.node
+        with pytest.raises(UnsatisfiedConstraint):
+            node.cert_builder.build(
+                epoch_id=epoch,
+                witness=witness,
+                h_prev_epoch_last=node._epoch_boundary_hash(epoch - 1),
+                h_epoch_last=b"\x42" * 32,  # wrong boundary hash
+            )

@@ -1,0 +1,159 @@
+"""Unit tests for mainchain transactions (repro.mainchain.transaction)."""
+
+import pytest
+
+from repro.core.transfers import derive_ledger_id
+from repro.errors import ValidationError
+from repro.mainchain.transaction import (
+    CoinTransaction,
+    TransactionBuilder,
+    TxInput,
+    input_owner_matches,
+    make_coinbase,
+    verify_input_signatures,
+)
+from repro.mainchain.utxo import Outpoint, TxOutput
+
+LEDGER = derive_ledger_id("tx-test")
+
+
+def outpoint(n=1):
+    return Outpoint(txid=bytes([n]) * 32, index=0)
+
+
+class TestCoinbase:
+    def test_make_coinbase(self, keys):
+        cb = make_coinbase(keys["miner"].address, reward=50, height=7)
+        assert cb.is_coinbase
+        assert not cb.inputs
+        assert cb.outputs[0].amount == 50
+
+    def test_coinbase_txids_differ_by_height(self, keys):
+        a = make_coinbase(keys["miner"].address, 50, 1)
+        b = make_coinbase(keys["miner"].address, 50, 2)
+        assert a.txid != b.txid
+
+    def test_output_total_includes_fts(self, keys):
+        tx = (
+            TransactionBuilder()
+            .spend(outpoint(), keys["alice"], 100)
+            .pay(keys["bob"].address, 30)
+            .forward_transfer(LEDGER, b"meta", 50)
+            .build()
+        )
+        assert tx.output_total == 80
+
+
+class TestBuilderAndSignatures:
+    def test_built_tx_verifies(self, keys):
+        tx = (
+            TransactionBuilder()
+            .spend(outpoint(), keys["alice"], 100)
+            .pay(keys["bob"].address, 100)
+            .build()
+        )
+        assert verify_input_signatures(tx)
+
+    def test_change_computation(self, keys):
+        tx = (
+            TransactionBuilder()
+            .spend(outpoint(), keys["alice"], 100)
+            .pay(keys["bob"].address, 30)
+            .change_to(keys["alice"].address)
+            .build()
+        )
+        amounts = sorted(o.amount for o in tx.outputs)
+        assert amounts == [30, 70]
+
+    def test_change_with_exact_inputs_adds_nothing(self, keys):
+        tx = (
+            TransactionBuilder()
+            .spend(outpoint(), keys["alice"], 30)
+            .pay(keys["bob"].address, 30)
+            .change_to(keys["alice"].address)
+            .build()
+        )
+        assert len(tx.outputs) == 1
+
+    def test_change_underflow_rejected(self, keys):
+        with pytest.raises(ValidationError):
+            (
+                TransactionBuilder()
+                .spend(outpoint(), keys["alice"], 10)
+                .pay(keys["bob"].address, 30)
+                .change_to(keys["alice"].address)
+            )
+
+    def test_tampered_output_breaks_signature(self, keys):
+        tx = (
+            TransactionBuilder()
+            .spend(outpoint(), keys["alice"], 100)
+            .pay(keys["bob"].address, 100)
+            .build()
+        )
+        tampered = CoinTransaction(
+            inputs=tx.inputs,
+            outputs=(TxOutput(addr=keys["mallory"].address, amount=100),),
+        )
+        assert not verify_input_signatures(tampered)
+
+    def test_foreign_signature_rejected(self, keys):
+        tx = (
+            TransactionBuilder()
+            .spend(outpoint(), keys["alice"], 100)
+            .pay(keys["bob"].address, 100)
+            .build()
+        )
+        # mallory replays alice's signature under her own pubkey
+        forged_input = TxInput(
+            outpoint=tx.inputs[0].outpoint,
+            pubkey=keys["mallory"].public,
+            signature=tx.inputs[0].signature,
+        )
+        forged = CoinTransaction(inputs=(forged_input,), outputs=tx.outputs)
+        assert not verify_input_signatures(forged)
+
+    def test_input_owner_matching(self, keys):
+        tx = (
+            TransactionBuilder()
+            .spend(outpoint(), keys["alice"], 10)
+            .pay(keys["bob"].address, 10)
+            .build()
+        )
+        assert input_owner_matches(tx.inputs[0], keys["alice"].address)
+        assert not input_owner_matches(tx.inputs[0], keys["bob"].address)
+
+
+class TestIds:
+    def test_txid_signature_independent(self, keys):
+        # same structure built twice gives identical txids (deterministic
+        # signing) and, crucially, the txid covers no signature bytes
+        tx1 = (
+            TransactionBuilder()
+            .spend(outpoint(), keys["alice"], 10)
+            .pay(keys["bob"].address, 10)
+            .build()
+        )
+        tx2 = CoinTransaction(inputs=tx1.inputs, outputs=tx1.outputs)
+        assert tx1.txid == tx2.txid
+
+    def test_txid_differs_across_kinds(self, keys):
+        from repro.core.bootstrap import SidechainConfig
+        from repro.mainchain.transaction import SidechainDeclarationTx
+        from repro.snark import proving
+        from repro.snark.circuit import Circuit
+
+        class V(Circuit):
+            circuit_id = "test/txkind"
+
+            def synthesize(self, b, public, witness):
+                b.alloc_publics(public)
+
+        vk = proving.setup(V())[1]
+        decl = SidechainDeclarationTx(
+            config=SidechainConfig(
+                ledger_id=LEDGER, start_block=5, epoch_len=4, submit_len=2, wcert_vk=vk
+            )
+        )
+        cb = make_coinbase(keys["miner"].address, 50, 0)
+        assert decl.txid != cb.txid

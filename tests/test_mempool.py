@@ -1,0 +1,60 @@
+"""Unit tests for the mainchain mempool (repro.mainchain.mempool)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.mainchain.mempool import Mempool
+from repro.mainchain.transaction import make_coinbase
+
+
+def tx(n: int):
+    return make_coinbase(bytes([n]) * 32, 50, n)
+
+
+class TestMempool:
+    def test_submit_and_contains(self):
+        pool = Mempool()
+        t = tx(1)
+        pool.submit(t)
+        assert t.txid in pool
+        assert len(pool) == 1
+
+    def test_duplicate_rejected(self):
+        pool = Mempool()
+        t = tx(1)
+        pool.submit(t)
+        with pytest.raises(ValidationError):
+            pool.submit(t)
+
+    def test_fifo_order_preserved(self):
+        pool = Mempool()
+        txs = [tx(i) for i in range(5)]
+        for t in txs:
+            pool.submit(t)
+        assert [t.txid for t in pool.take(10)] == [t.txid for t in txs]
+
+    def test_take_respects_limit(self):
+        pool = Mempool()
+        for i in range(5):
+            pool.submit(tx(i))
+        assert len(pool.take(3)) == 3
+        assert len(pool) == 5  # take does not remove
+
+    def test_remove_and_remove_confirmed(self):
+        pool = Mempool()
+        txs = [tx(i) for i in range(3)]
+        for t in txs:
+            pool.submit(t)
+        pool.remove(txs[0].txid)
+        assert txs[0].txid not in pool
+        pool.remove_confirmed(txs[1:])
+        assert len(pool) == 0
+
+    def test_remove_missing_is_noop(self):
+        Mempool().remove(b"\x00" * 32)
+
+    def test_clear(self):
+        pool = Mempool()
+        pool.submit(tx(1))
+        pool.clear()
+        assert len(pool) == 0

@@ -1,0 +1,120 @@
+"""Unit tests for byte Merkle trees (repro.crypto.merkle) — paper Fig. 2."""
+
+import pytest
+
+from repro.crypto.hashing import NULL_DIGEST
+from repro.crypto.merkle import MerkleProof, MerkleTree, leaf_hash, merkle_root
+from repro.errors import MerkleError
+
+
+def leaves(n: int) -> list[bytes]:
+    return [leaf_hash(f"data{i}".encode()) for i in range(n)]
+
+
+class TestConstruction:
+    def test_empty_tree_root_is_null(self):
+        assert MerkleTree([]).root == NULL_DIGEST
+
+    def test_single_leaf_root_is_leaf(self):
+        (leaf,) = leaves(1)
+        assert MerkleTree([leaf]).root == leaf
+
+    def test_rejects_non_digest_leaves(self):
+        with pytest.raises(MerkleError):
+            MerkleTree([b"short"])
+
+    def test_root_changes_with_any_leaf(self):
+        base = leaves(8)
+        root = MerkleTree(base).root
+        for i in range(8):
+            mutated = list(base)
+            mutated[i] = leaf_hash(b"tampered")
+            assert MerkleTree(mutated).root != root
+
+    def test_order_matters(self):
+        base = leaves(4)
+        assert MerkleTree(base).root != MerkleTree(list(reversed(base))).root
+
+    def test_odd_leaf_counts_supported(self):
+        for n in (1, 2, 3, 5, 7, 9):
+            tree = MerkleTree(leaves(n))
+            assert len(tree) == n
+            assert len(tree.root) == 32
+
+    def test_merkle_root_helper(self):
+        base = leaves(5)
+        assert merkle_root(base) == MerkleTree(base).root
+
+
+class TestProofs:
+    def test_fig2_proof_shape(self):
+        """Fig. 2: proving data4 in an 8-leaf tree yields 3 siblings
+        (h43, h31, h22 in the paper's numbering)."""
+        tree = MerkleTree(leaves(8))
+        proof = tree.prove(3)  # data4 is the 4th leaf, index 3
+        assert len(proof.siblings) == 3
+        assert proof.path_bits == (True, True, False)
+        assert proof.verify(tree.root)
+
+    def test_every_index_provable(self):
+        for n in (1, 2, 3, 6, 8, 13):
+            tree = MerkleTree(leaves(n))
+            for i in range(n):
+                assert tree.prove(i).verify(tree.root), (n, i)
+
+    def test_proof_fails_against_wrong_root(self):
+        tree = MerkleTree(leaves(8))
+        other = MerkleTree(leaves(9))
+        assert not tree.prove(0).verify(other.root)
+
+    def test_tampered_leaf_fails(self):
+        tree = MerkleTree(leaves(8))
+        proof = tree.prove(2)
+        bad = MerkleProof(
+            leaf=leaf_hash(b"evil"),
+            index=proof.index,
+            siblings=proof.siblings,
+            path_bits=proof.path_bits,
+        )
+        assert not bad.verify(tree.root)
+
+    def test_tampered_sibling_fails(self):
+        tree = MerkleTree(leaves(8))
+        proof = tree.prove(2)
+        siblings = list(proof.siblings)
+        siblings[1] = leaf_hash(b"evil")
+        bad = MerkleProof(
+            leaf=proof.leaf,
+            index=proof.index,
+            siblings=tuple(siblings),
+            path_bits=proof.path_bits,
+        )
+        assert not bad.verify(tree.root)
+
+    def test_wrong_path_bits_fail(self):
+        tree = MerkleTree(leaves(8))
+        proof = tree.prove(2)
+        flipped = tuple(not b for b in proof.path_bits)
+        bad = MerkleProof(
+            leaf=proof.leaf,
+            index=proof.index,
+            siblings=proof.siblings,
+            path_bits=flipped,
+        )
+        assert not bad.verify(tree.root)
+
+    def test_out_of_range_index_raises(self):
+        tree = MerkleTree(leaves(4))
+        with pytest.raises(MerkleError):
+            tree.prove(4)
+        with pytest.raises(MerkleError):
+            tree.prove(-1)
+
+    def test_empty_tree_has_no_proofs(self):
+        with pytest.raises(MerkleError):
+            MerkleTree([]).prove(0)
+
+    def test_duplicated_last_leaf_padding_is_consistent(self):
+        # With 3 leaves the last is duplicated; proving index 2 must work.
+        tree = MerkleTree(leaves(3))
+        assert tree.prove(2).verify(tree.root)

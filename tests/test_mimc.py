@@ -1,0 +1,73 @@
+"""Unit tests for the MiMC permutation and hash (repro.crypto.mimc)."""
+
+from repro.crypto import mimc
+from repro.crypto.field import MODULUS
+
+
+class TestRoundConstants:
+    def test_count(self):
+        assert len(mimc.ROUND_CONSTANTS) == mimc.ROUNDS == 110
+
+    def test_first_constant_is_zero(self):
+        assert mimc.ROUND_CONSTANTS[0] == 0
+
+    def test_constants_in_field(self):
+        assert all(0 <= c < MODULUS for c in mimc.ROUND_CONSTANTS)
+
+    def test_constants_distinct(self):
+        assert len(set(mimc.ROUND_CONSTANTS)) == mimc.ROUNDS
+
+    def test_derivation_is_deterministic(self):
+        assert mimc._derive_round_constants() == mimc.ROUND_CONSTANTS
+
+
+class TestPermutation:
+    def test_deterministic(self):
+        assert mimc.mimc_permutation(1, 2) == mimc.mimc_permutation(1, 2)
+
+    def test_key_matters(self):
+        assert mimc.mimc_permutation(1, 2) != mimc.mimc_permutation(1, 3)
+
+    def test_input_matters(self):
+        assert mimc.mimc_permutation(1, 2) != mimc.mimc_permutation(2, 2)
+
+    def test_is_injective_on_sample(self):
+        # permutation property: distinct inputs (same key) -> distinct outputs
+        outputs = {mimc.mimc_permutation(x, 7) for x in range(100)}
+        assert len(outputs) == 100
+
+    def test_reduces_inputs(self):
+        assert mimc.mimc_permutation(MODULUS + 1, 0) == mimc.mimc_permutation(1, 0)
+
+
+class TestCompression:
+    def test_not_symmetric(self):
+        assert mimc.mimc_compress(1, 2) != mimc.mimc_compress(2, 1)
+
+    def test_distinct_from_inputs(self):
+        out = mimc.mimc_compress(1, 2)
+        assert out not in (1, 2)
+
+    def test_collision_free_on_sample(self):
+        seen = {mimc.mimc_compress(a, b) for a in range(20) for b in range(20)}
+        assert len(seen) == 400
+
+
+class TestHash:
+    def test_empty_is_defined_and_stable(self):
+        assert mimc.mimc_hash(()) == mimc.mimc_hash([])
+
+    def test_length_tagged(self):
+        # [0] must differ from [] and from [0, 0] (length is absorbed).
+        assert mimc.mimc_hash([]) != mimc.mimc_hash([0])
+        assert mimc.mimc_hash([0]) != mimc.mimc_hash([0, 0])
+
+    def test_order_matters(self):
+        assert mimc.mimc_hash([1, 2]) != mimc.mimc_hash([2, 1])
+
+    def test_hash_bytes_maps_into_field(self):
+        value = mimc.mimc_hash_bytes(b"hello world")
+        assert 0 <= value < MODULUS
+
+    def test_hash_bytes_distinct(self):
+        assert mimc.mimc_hash_bytes(b"a") != mimc.mimc_hash_bytes(b"b")

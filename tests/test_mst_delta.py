@@ -1,0 +1,142 @@
+"""Unit tests for mst_delta (repro.latus.mst_delta) — §5.5.3.1 / Appendix A."""
+
+import pytest
+
+from repro.errors import MstError
+from repro.latus.mst import MerkleStateTree
+from repro.latus.mst_delta import (
+    MstDelta,
+    untouched_since,
+    verify_unspent_across_epochs,
+)
+from repro.latus.utxo import Utxo
+
+
+def utxo_at_position(mst_depth: int, position: int, tag: int = 0) -> Utxo:
+    """Brute-force a nonce whose MST_Position is ``position``."""
+    nonce = tag << 32
+    while Utxo(addr=1, amount=5, nonce=nonce).position(mst_depth) != position:
+        nonce += 1
+    return Utxo(addr=1, amount=5, nonce=nonce)
+
+
+class TestBitVector:
+    def test_bits_and_bitstring(self):
+        delta = MstDelta.from_positions(3, [0, 1, 2, 7])
+        assert delta.to_bitstring() == "11100001"
+        assert delta.bit(0) == 1 and delta.bit(3) == 0
+
+    def test_capacity(self):
+        assert MstDelta.from_positions(4, []).capacity == 16
+
+    def test_out_of_range_positions_rejected(self):
+        with pytest.raises(MstError):
+            MstDelta.from_positions(3, [8])
+        with pytest.raises(MstError):
+            MstDelta.from_positions(3, []).bit(8)
+
+    def test_packed_bytes(self):
+        delta = MstDelta.from_positions(3, [0, 7])
+        assert delta.to_bytes() == bytes([0b10000001])
+
+    def test_digest_field_sensitive(self):
+        a = MstDelta.from_positions(4, [1])
+        b = MstDelta.from_positions(4, [2])
+        assert a.digest_field() != b.digest_field()
+
+    def test_union(self):
+        a = MstDelta.from_positions(3, [0])
+        b = MstDelta.from_positions(3, [7])
+        assert (a | b).to_bitstring() == "10000001"
+
+    def test_union_depth_mismatch_rejected(self):
+        with pytest.raises(MstError):
+            MstDelta.from_positions(3, []) | MstDelta.from_positions(4, [])
+
+    def test_untouched_since(self):
+        deltas = [MstDelta.from_positions(3, [0]), MstDelta.from_positions(3, [1])]
+        assert untouched_since(deltas, 5)
+        assert not untouched_since(deltas, 1)
+
+
+class TestAppendixAExample:
+    """The worked MST0 -> MST1 example of Appendix A, transplanted onto our
+    position function: three initial UTXOs; tx1 spends one creating two new
+    outputs; tx2 spends one of those creating another; the delta has exactly
+    the bits of the touched slots."""
+
+    def test_worked_example(self):
+        depth = 3
+        mst = MerkleStateTree(depth)
+        utxo1 = utxo_at_position(depth, 0, tag=1)
+        utxo2 = utxo_at_position(depth, 4, tag=2)
+        utxo3 = utxo_at_position(depth, 6, tag=3)
+        for u in (utxo1, utxo2, utxo3):
+            mst.add(u)
+        mst.reset_touched()  # MST0 committed by the previous certificate
+
+        # tx1: spend utxo1 -> utxo4 (slot 1), utxo5 (slot 2)
+        utxo4 = utxo_at_position(depth, 1, tag=4)
+        utxo5 = utxo_at_position(depth, 2, tag=5)
+        mst.remove(utxo1)
+        mst.add(utxo4)
+        mst.add(utxo5)
+        # tx2: spend utxo4 -> utxo6 (slot 7)
+        utxo6 = utxo_at_position(depth, 7, tag=6)
+        mst.remove(utxo4)
+        mst.add(utxo6)
+
+        delta = MstDelta.from_positions(depth, mst.touched_positions)
+        assert delta.to_bitstring() == "11100001"  # Appendix A's mst_delta
+
+        # untouched slots keep their occupants
+        assert mst.contains(utxo2) and mst.contains(utxo3)
+
+
+class TestNonSpendProofs:
+    """The data-availability defence: prove a utxo unspent across epochs."""
+
+    def _setup(self):
+        depth = 4
+        mst = MerkleStateTree(depth)
+        target = utxo_at_position(depth, 3, tag=7)
+        mst.add(target)
+        old_root = mst.root
+        proof = mst.prove(target)
+        return depth, mst, target, old_root, proof
+
+    def test_unspent_utxo_verifies_across_quiet_epochs(self):
+        depth, mst, target, old_root, proof = self._setup()
+        deltas = [
+            MstDelta.from_positions(depth, [1, 2]),
+            MstDelta.from_positions(depth, [9]),
+        ]
+        assert verify_unspent_across_epochs(target, proof, old_root, deltas)
+
+    def test_spent_slot_fails(self):
+        depth, mst, target, old_root, proof = self._setup()
+        position = target.position(depth)
+        deltas = [MstDelta.from_positions(depth, [position])]
+        assert not verify_unspent_across_epochs(target, proof, old_root, deltas)
+
+    def test_wrong_root_fails(self):
+        depth, mst, target, old_root, proof = self._setup()
+        assert not verify_unspent_across_epochs(target, proof, old_root + 1, [])
+
+    def test_proof_for_other_utxo_fails(self):
+        depth, mst, target, old_root, proof = self._setup()
+        other = utxo_at_position(depth, 3, tag=8)  # same slot, different utxo
+        assert not verify_unspent_across_epochs(other, proof, old_root, [])
+
+    def test_mispositioned_proof_fails(self):
+        depth, mst, target, old_root, proof = self._setup()
+        from repro.crypto.fixed_merkle import FieldMerkleProof
+
+        skewed = FieldMerkleProof(
+            leaf=proof.leaf, position=proof.position + 1, siblings=proof.siblings
+        )
+        assert not verify_unspent_across_epochs(target, skewed, old_root, [])
+
+    def test_no_deltas_means_latest_state(self):
+        depth, mst, target, old_root, proof = self._setup()
+        assert verify_unspent_across_epochs(target, proof, old_root, [])

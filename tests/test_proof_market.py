@@ -1,0 +1,144 @@
+"""Tests for distributed proof generation (repro.latus.proof_market) — §5.4.1."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.errors import SnarkError
+from repro.latus.proof_market import DispatchResult, ProofDispatcher, ProofWorker
+from repro.latus.state import LatusState
+from repro.latus.transactions import sign_payment
+from repro.latus.utxo import Utxo, address_to_field, derive_nonce
+
+ALICE = KeyPair.from_seed("market/alice")
+
+
+def payment_chain(count: int):
+    state = LatusState(10)
+    current = Utxo(
+        addr=address_to_field(ALICE.address), amount=500, nonce=derive_nonce(b"mkt")
+    )
+    state.mst.add(current)
+    txs = []
+    working = state.copy()
+    for i in range(count):
+        nxt = Utxo(
+            addr=address_to_field(ALICE.address),
+            amount=500,
+            nonce=derive_nonce(b"mkt", i.to_bytes(4, "little")),
+        )
+        tx = sign_payment([(current, ALICE)], [nxt])
+        working.apply(tx)
+        txs.append(tx)
+        current = nxt
+    return state, txs
+
+
+def honest_pool(n: int) -> list[ProofWorker]:
+    return [ProofWorker(name=f"w{i}") for i in range(n)]
+
+
+class TestHonestDispatch:
+    def test_produces_valid_epoch_proof(self):
+        dispatcher = ProofDispatcher(honest_pool(3))
+        state, txs = payment_chain(6)
+        result = dispatcher.prove_epoch(state, txs)
+        assert dispatcher.composer.verify(result.proof)
+        assert result.proof.span == 6
+        assert result.base_tasks == 6
+        assert result.merge_tasks == 5
+        assert result.proof.from_digest == state.digest()
+        assert result.proof.to_digest == result.final_state.digest()
+
+    def test_rewards_cover_every_task(self):
+        dispatcher = ProofDispatcher(honest_pool(3), per_proof_reward=7)
+        state, txs = payment_chain(4)
+        result = dispatcher.prove_epoch(state, txs)
+        expected_tasks = result.base_tasks + result.merge_tasks
+        assert result.statement.total_paid == expected_tasks * 7
+        assert sum(result.statement.rejected.values()) == 0
+
+    def test_work_is_distributed(self):
+        workers = honest_pool(4)
+        dispatcher = ProofDispatcher(workers)
+        state, txs = payment_chain(8)
+        dispatcher.prove_epoch(state, txs)
+        producing = [w for w in workers if w.proofs_produced > 0]
+        assert len(producing) >= 2, "assignment should spread across workers"
+
+    def test_assignment_is_deterministic(self):
+        a = ProofDispatcher(honest_pool(3), seed=b"same")
+        b = ProofDispatcher(honest_pool(3), seed=b"same")
+        state, txs = payment_chain(4)
+        ra = a.prove_epoch(state, txs)
+        rb = b.prove_epoch(state, txs)
+        assert ra.statement.rewards == rb.statement.rewards
+
+    def test_parallel_speedup_measured(self):
+        dispatcher = ProofDispatcher(honest_pool(4))
+        state, txs = payment_chain(8)
+        result = dispatcher.prove_epoch(state, txs)
+        assert result.parallel_seconds <= result.sequential_seconds
+        assert result.speedup >= 1.0
+
+    def test_empty_epoch_rejected(self):
+        dispatcher = ProofDispatcher(honest_pool(2))
+        with pytest.raises(SnarkError):
+            dispatcher.prove_epoch(LatusState(10), [])
+
+
+class TestMisbehaviour:
+    def test_flaky_worker_does_not_break_the_epoch(self):
+        workers = [
+            ProofWorker(name="honest"),
+            ProofWorker(name="flaky", fail_every=2),
+        ]
+        dispatcher = ProofDispatcher(workers)
+        state, txs = payment_chain(6)
+        result = dispatcher.prove_epoch(state, txs)
+        assert dispatcher.composer.verify(result.proof)
+
+    def test_failures_forfeit_rewards(self):
+        workers = [
+            ProofWorker(name="honest"),
+            ProofWorker(name="lazy", fail_every=1),  # never delivers
+        ]
+        dispatcher = ProofDispatcher(workers, per_proof_reward=5)
+        state, txs = payment_chain(4)
+        result = dispatcher.prove_epoch(state, txs)
+        assert result.statement.rewards["lazy"] == 0
+        assert result.statement.rejected["lazy"] > 0
+        # every paid reward corresponds to a validated proof
+        total_tasks = result.base_tasks + result.merge_tasks
+        assert result.statement.rewards["honest"] == total_tasks * 5
+
+    def test_all_lazy_pool_rejected_at_construction(self):
+        with pytest.raises(SnarkError):
+            ProofDispatcher([ProofWorker(name="lazy", fail_every=1)])
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(SnarkError):
+            ProofDispatcher([])
+
+    def test_rejected_counts_tracked_per_worker(self):
+        workers = [
+            ProofWorker(name="honest"),
+            ProofWorker(name="flaky", fail_every=3),
+        ]
+        dispatcher = ProofDispatcher(workers)
+        state, txs = payment_chain(8)
+        result = dispatcher.prove_epoch(state, txs)
+        assert result.statement.rejected["flaky"] == workers[1].proofs_rejected
+        assert workers[1].proofs_rejected > 0 or workers[1].proofs_produced > 0
+
+
+class TestEquivalenceWithLocalProving:
+    def test_same_digests_as_single_prover(self):
+        from repro.latus.proofs import EpochProver
+
+        state, txs = payment_chain(5)
+        local = EpochProver("per_transaction").prove_epoch(state.copy(), txs)
+        distributed = ProofDispatcher(honest_pool(3)).prove_epoch(state.copy(), txs)
+        assert local.proof.from_digest == distributed.proof.from_digest
+        assert local.proof.to_digest == distributed.proof.to_digest
+        # identical deterministic proofs: the MC cannot tell who proved it
+        assert local.proof.proof == distributed.proof.proof

@@ -1,0 +1,151 @@
+"""Unit tests for the proving system (repro.snark.proving) — Def. 2.3."""
+
+import pytest
+
+from repro.crypto.mimc import mimc_compress
+from repro.errors import SnarkError, UnsatisfiedConstraint, VerificationFailure
+from repro.snark import proving
+from repro.snark.circuit import Circuit
+from repro.snark.gadgets.mimc import mimc_compress_gadget
+from repro.snark.proving import PROOF_SIZE, Proof, VerifyingKey
+
+
+class PreimageCircuit(Circuit):
+    """Knowledge of (l, r) with MiMC(l, r) == public output."""
+
+    circuit_id = "test/preimage"
+
+    def synthesize(self, b, public, witness):
+        out = b.alloc_public(public[0])
+        left, right = witness
+        h = mimc_compress_gadget(b, b.alloc(left), b.alloc(right))
+        b.enforce_equal(h, out)
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return proving.setup(PreimageCircuit())
+
+
+class TestSetup:
+    def test_setup_is_deterministic(self):
+        _, vk1 = proving.setup(PreimageCircuit())
+        _, vk2 = proving.setup(PreimageCircuit())
+        assert vk1 == vk2
+
+    def test_distinct_circuits_distinct_keys(self, keypair):
+        class Other(PreimageCircuit):
+            circuit_id = "test/preimage-2"
+
+        _, vk_other = proving.setup(Other())
+        assert vk_other.key_id != keypair[1].key_id
+
+    def test_parameters_change_keys(self):
+        class Parameterized(PreimageCircuit):
+            circuit_id = "test/param"
+
+            def __init__(self, n):
+                self.n = n
+
+            def parameters_digest(self):
+                return self.n.to_bytes(4, "little")
+
+        _, vk1 = proving.setup(Parameterized(1))
+        _, vk2 = proving.setup(Parameterized(2))
+        assert vk1.key_id != vk2.key_id
+
+    def test_missing_circuit_id_rejected(self):
+        class Anonymous(Circuit):
+            def synthesize(self, b, public, witness):
+                pass
+
+        with pytest.raises(SnarkError):
+            proving.setup(Anonymous())
+
+
+class TestCompleteness:
+    def test_valid_witness_verifies(self, keypair):
+        pk, vk = keypair
+        target = mimc_compress(10, 20)
+        proof = proving.prove(pk, (target,), (10, 20))
+        assert proving.verify(vk, (target,), proof)
+
+    def test_prove_with_stats(self, keypair):
+        pk, _ = keypair
+        target = mimc_compress(10, 20)
+        result = proving.prove_with_stats(pk, (target,), (10, 20))
+        assert result.stats.num_constraints > 300
+        assert result.prove_seconds >= 0
+        assert result.proof.size_bytes == PROOF_SIZE
+
+
+class TestKnowledgeSoundness:
+    def test_bad_witness_cannot_prove(self, keypair):
+        pk, _ = keypair
+        target = mimc_compress(10, 20)
+        with pytest.raises(UnsatisfiedConstraint):
+            proving.prove(pk, (target,), (10, 21))
+
+    def test_wrong_public_input_rejected(self, keypair):
+        pk, vk = keypair
+        target = mimc_compress(10, 20)
+        proof = proving.prove(pk, (target,), (10, 20))
+        assert not proving.verify(vk, (target + 1,), proof)
+
+    def test_any_bit_flip_rejected(self, keypair):
+        pk, vk = keypair
+        target = mimc_compress(10, 20)
+        proof = proving.prove(pk, (target,), (10, 20))
+        for position in (0, 31, 32, PROOF_SIZE - 1):
+            data = bytearray(proof.data)
+            data[position] ^= 1
+            assert not proving.verify(vk, (target,), Proof(data=bytes(data)))
+
+    def test_wrong_key_rejected(self, keypair):
+        pk, _ = keypair
+
+        class Other(PreimageCircuit):
+            circuit_id = "test/preimage-other"
+
+        _, other_vk = proving.setup(Other())
+        target = mimc_compress(10, 20)
+        proof = proving.prove(pk, (target,), (10, 20))
+        assert not proving.verify(other_vk, (target,), proof)
+
+
+class TestSuccinctness:
+    def test_proof_size_constant(self, keypair):
+        pk, _ = keypair
+        sizes = set()
+        for left in range(5):
+            target = mimc_compress(left, 0)
+            sizes.add(proving.prove(pk, (target,), (left, 0)).size_bytes)
+        assert sizes == {PROOF_SIZE}
+
+    def test_proof_wrong_size_rejected(self):
+        with pytest.raises(SnarkError):
+            Proof(data=b"\x00" * 10)
+
+
+class TestHelpers:
+    def test_expect_valid_raises(self, keypair):
+        pk, vk = keypair
+        target = mimc_compress(1, 2)
+        proof = proving.prove(pk, (target,), (1, 2))
+        proving.expect_valid(vk, (target,), proof)  # no raise
+        with pytest.raises(VerificationFailure):
+            proving.expect_valid(vk, (target + 1,), proof)
+
+    def test_vk_serialization_roundtrip(self, keypair):
+        _, vk = keypair
+        assert VerifyingKey.from_bytes(vk.to_bytes()) == vk
+
+    def test_vk_malformed_rejected(self):
+        with pytest.raises(SnarkError):
+            VerifyingKey.from_bytes(b"\x05\x00abcde" + b"\x00" * 10)
+
+    def test_proof_serialization_roundtrip(self, keypair):
+        pk, _ = keypair
+        target = mimc_compress(1, 2)
+        proof = proving.prove(pk, (target,), (1, 2))
+        assert Proof.from_bytes(proof.to_bytes()) == proof

@@ -1,0 +1,135 @@
+"""Unit tests for the R1CS layer (repro.snark.r1cs)."""
+
+import pytest
+
+from repro.crypto.field import MODULUS
+from repro.errors import SynthesisError, UnsatisfiedConstraint
+from repro.snark.r1cs import ONE, ConstraintSystem, LinearCombination, R1CSStats, lc_sum
+
+
+class TestLinearCombination:
+    def test_constant(self):
+        lc = LinearCombination.constant(5)
+        assert lc.terms == {ONE: 5}
+        assert lc.is_constant()
+
+    def test_variable(self):
+        lc = LinearCombination.variable(3, 2)
+        assert lc.terms == {3: 2}
+        assert not lc.is_constant()
+
+    def test_zero_coefficients_dropped(self):
+        lc = LinearCombination({1: MODULUS})  # ≡ 0
+        assert lc.terms == {}
+
+    def test_add_merges_terms(self):
+        a = LinearCombination({1: 2, 2: 3})
+        b = LinearCombination({2: 4, 3: 1})
+        assert (a + b).terms == {1: 2, 2: 7, 3: 1}
+
+    def test_add_cancels_to_zero(self):
+        a = LinearCombination({1: 2})
+        b = LinearCombination({1: MODULUS - 2})
+        assert (a + b).terms == {}
+
+    def test_sub(self):
+        a = LinearCombination({1: 5})
+        b = LinearCombination({1: 2})
+        assert (a - b).terms == {1: 3}
+
+    def test_scale(self):
+        assert LinearCombination({1: 2}).scale(3).terms == {1: 6}
+        assert LinearCombination({1: 2}).scale(0).terms == {}
+
+    def test_evaluate(self):
+        lc = LinearCombination({ONE: 10, 1: 2})
+        assert lc.evaluate([1, 5]) == 20
+
+    def test_lc_sum(self):
+        total = lc_sum([LinearCombination({1: 1}), LinearCombination({1: 2})])
+        assert total.terms == {1: 3}
+
+
+class TestConstraintSystem:
+    def test_allocation_and_public_tracking(self):
+        cs = ConstraintSystem()
+        a = cs.alloc(5)
+        b = cs.alloc_public(7)
+        assert cs.assignment[a] == 5
+        assert cs.assignment[b] == 7
+        assert cs.public_values() == (7,)
+
+    def test_satisfied_constraint_accepted(self):
+        cs = ConstraintSystem()
+        a = cs.alloc(3)
+        b = cs.alloc(4)
+        c = cs.alloc(12)
+        cs.enforce(
+            LinearCombination.variable(a),
+            LinearCombination.variable(b),
+            LinearCombination.variable(c),
+        )
+        assert cs.num_constraints == 1
+
+    def test_unsatisfied_constraint_raises(self):
+        cs = ConstraintSystem()
+        a = cs.alloc(3)
+        b = cs.alloc(4)
+        c = cs.alloc(13)
+        with pytest.raises(UnsatisfiedConstraint):
+            cs.enforce(
+                LinearCombination.variable(a),
+                LinearCombination.variable(b),
+                LinearCombination.variable(c),
+                "bad-mul",
+            )
+
+    def test_native_checks_counted(self):
+        cs = ConstraintSystem()
+        cs.assert_native(True, "fine")
+        assert cs.num_native_checks == 1
+        with pytest.raises(UnsatisfiedConstraint):
+            cs.assert_native(False, "boom")
+
+    def test_stats(self):
+        cs = ConstraintSystem()
+        cs.alloc(1)
+        cs.alloc_public(2)
+        cs.assert_native(True, "x")
+        stats = cs.stats()
+        assert stats.num_variables == 2
+        assert stats.num_public_inputs == 1
+        assert stats.num_native_checks == 1
+
+    def test_stats_merge(self):
+        a = R1CSStats(1, 2, 3, 4)
+        b = R1CSStats(10, 20, 30, 40)
+        merged = a.merge(b)
+        assert (
+            merged.num_constraints,
+            merged.num_variables,
+            merged.num_public_inputs,
+            merged.num_native_checks,
+        ) == (11, 22, 33, 44)
+
+    def test_keep_constraints_and_recheck(self):
+        cs = ConstraintSystem(keep_constraints=True)
+        a = cs.alloc(2)
+        cs.enforce(
+            LinearCombination.variable(a),
+            LinearCombination.variable(a),
+            LinearCombination.constant(4),
+        )
+        assert cs.is_satisfied()
+        cs.assignment[a] = 3  # corrupt the assignment post-hoc
+        assert not cs.is_satisfied()
+
+    def test_recheck_requires_kept_constraints(self):
+        cs = ConstraintSystem()
+        with pytest.raises(SynthesisError):
+            cs.is_satisfied()
+
+    def test_values_reduced_on_alloc(self):
+        cs = ConstraintSystem()
+        a = cs.alloc(MODULUS + 4)
+        assert cs.assignment[a] == 4

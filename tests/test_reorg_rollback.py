@@ -1,0 +1,122 @@
+"""Regression tests for partial rollback on MC reorgs.
+
+An earlier design rebuilt the whole sidechain on any MC reorg, which let
+pending transactions slip into *historical* epochs and diverge from
+certificates the mainchain had already adopted (caught by the auditor).
+The paper's rule (§5.1) is surgical: only SC blocks referencing orphaned
+MC blocks revert.  These tests pin that behaviour down.
+"""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.latus.audit import SidechainAuditor
+from repro.scenarios import ZendooHarness
+from tests.test_mainchain_chain import make_block
+
+ALICE = KeyPair.from_seed("alice")
+BOB = KeyPair.from_seed("bob")
+
+
+def reorg(harness, depth: int, extra: int = 2, ts_base: int = 77_000) -> None:
+    mc = harness.mc
+    parent = mc.chain.block_at_height(mc.height - depth)
+    for i in range(depth + extra):
+        block = make_block(parent, params=mc.params, ts=ts_base + i)
+        mc.chain.add_block(block)
+        parent = block
+
+
+@pytest.fixture
+def scenario():
+    harness = ZendooHarness()
+    harness.mine(2)
+    sc = harness.create_sidechain("rollback", epoch_len=4, submit_len=3)
+    harness.forward_transfer(sc, ALICE, 60_000)
+    harness.run_epochs(sc, 2)
+    return harness, sc
+
+
+class TestPartialRollback:
+    def test_history_below_fork_is_preserved(self, scenario):
+        """Blocks whose references survived the reorg must stay identical —
+        the pre-fix behaviour rewrote them."""
+        harness, sc = scenario
+        before = [b.hash for b in sc.node.blocks]
+        certs_before = [c.id for c in sc.node.certificates]
+        reorg(harness, depth=2)
+        sc.node.sync()
+        after = [b.hash for b in sc.node.blocks]
+        shared = min(len(before), len(after))
+        # everything below the fork point is byte-identical
+        surviving = [h for h in before if h in after]
+        assert after[: len(surviving)] == surviving
+        assert surviving, "some history must survive a shallow reorg"
+        # early certificates were not regenerated
+        assert [c.id for c in sc.node.certificates][: len(certs_before) - 1] == certs_before[
+            : len(certs_before) - 1
+        ]
+
+    def test_pending_tx_does_not_leak_into_history(self, scenario):
+        """A transaction submitted after epoch 0 closed must not appear in
+        any epoch-0 block after a reorg."""
+        harness, sc = scenario
+        tx = harness.wallet(sc, ALICE).pay(BOB.address, 1_000)
+        reorg(harness, depth=2)
+        sc.node.sync()
+        harness.mine(4)
+        schedule = sc.config.schedule
+        for block in sc.node.blocks:
+            if not block.mc_refs:
+                continue
+            epoch = schedule.epoch_of_height(block.mc_refs[-1].mc_height)
+            if epoch == 0:
+                assert tx.txid not in {t.txid for t in block.transactions}
+
+    def test_audit_stays_clean_across_reorg(self, scenario):
+        """The exact regression: post-reorg history must still match the
+        MC-adopted certificates."""
+        harness, sc = scenario
+        harness.wallet(sc, ALICE).pay(BOB.address, 1_000)
+        reorg(harness, depth=2)
+        sc.node.sync()
+        harness.mine(6)
+        auditor = SidechainAuditor(
+            config=sc.config,
+            params=sc.node.params,
+            mc_node=harness.mc,
+            creator_address=sc.node.creator.address,
+        )
+        report = auditor.audit(sc.node.blocks)
+        assert report.clean, (report.violations, report.certificate_mismatches)
+
+    def test_reverted_certificate_is_resubmitted(self, scenario):
+        """A certificate orphaned together with its adopting block is
+        re-queued and re-adopted while its window is still open."""
+        harness, sc = scenario
+        entry = harness.mc.state.cctp.entry(sc.ledger_id)
+        adopted_before = set(entry.certificates)
+        # orphan only the newest block (likely carrying the latest cert)
+        reorg(harness, depth=1, extra=1, ts_base=88_000)
+        sc.node.sync()
+        harness.mine(2)
+        entry = harness.mc.state.cctp.entry(sc.ledger_id)
+        assert set(entry.certificates) >= adopted_before
+
+    def test_deep_reorg_falls_back_to_full_rebuild(self, scenario):
+        """When every SC block referenced the orphaned branch, the node
+        rebuilds from scratch (and the result is still audit-clean)."""
+        harness, sc = scenario
+        depth = harness.mc.height - sc.config.start_block + 1
+        reorg(harness, depth=depth, extra=3, ts_base=99_000)
+        sc.node.sync()
+        harness.mine(4)
+        assert sc.node.synced_mc_height == harness.mc.height
+        auditor = SidechainAuditor(
+            config=sc.config,
+            params=sc.node.params,
+            mc_node=harness.mc,
+            creator_address=sc.node.creator.address,
+        )
+        report = auditor.audit(sc.node.blocks)
+        assert report.clean, (report.violations, report.certificate_mismatches)

@@ -1,0 +1,79 @@
+"""Unit tests for the withdrawal safeguard (repro.core.safeguard) — §4.1.2.2."""
+
+import pytest
+
+from repro.core.safeguard import Safeguard
+from repro.core.transfers import derive_ledger_id
+from repro.errors import SafeguardViolation, UnknownSidechain
+
+SC_A = derive_ledger_id("sg-a")
+SC_B = derive_ledger_id("sg-b")
+
+
+@pytest.fixture
+def safeguard() -> Safeguard:
+    sg = Safeguard()
+    sg.open(SC_A)
+    sg.open(SC_B)
+    return sg
+
+
+class TestAccounting:
+    def test_opens_at_zero(self, safeguard):
+        assert safeguard.balance(SC_A) == 0
+
+    def test_deposit_withdraw_cycle(self, safeguard):
+        safeguard.deposit(SC_A, 100)
+        safeguard.withdraw(SC_A, 40)
+        assert safeguard.balance(SC_A) == 60
+
+    def test_exact_drain_allowed(self, safeguard):
+        safeguard.deposit(SC_A, 100)
+        safeguard.withdraw(SC_A, 100)
+        assert safeguard.balance(SC_A) == 0
+
+    def test_overdraw_rejected(self, safeguard):
+        safeguard.deposit(SC_A, 100)
+        with pytest.raises(SafeguardViolation):
+            safeguard.withdraw(SC_A, 101)
+        assert safeguard.balance(SC_A) == 100  # unchanged
+
+    def test_sidechains_are_isolated(self, safeguard):
+        safeguard.deposit(SC_A, 100)
+        with pytest.raises(SafeguardViolation):
+            safeguard.withdraw(SC_B, 1)
+
+    def test_refund(self, safeguard):
+        safeguard.deposit(SC_A, 100)
+        safeguard.withdraw(SC_A, 70)
+        safeguard.refund(SC_A, 70)
+        assert safeguard.balance(SC_A) == 100
+
+    def test_negative_amounts_rejected(self, safeguard):
+        with pytest.raises(SafeguardViolation):
+            safeguard.deposit(SC_A, -1)
+        with pytest.raises(SafeguardViolation):
+            safeguard.withdraw(SC_A, -1)
+        with pytest.raises(SafeguardViolation):
+            safeguard.refund(SC_A, -1)
+
+    def test_unknown_sidechain_rejected(self, safeguard):
+        ghost = derive_ledger_id("ghost")
+        with pytest.raises(UnknownSidechain):
+            safeguard.balance(ghost)
+        with pytest.raises(UnknownSidechain):
+            safeguard.deposit(ghost, 1)
+
+    def test_reopen_is_idempotent(self, safeguard):
+        safeguard.deposit(SC_A, 5)
+        safeguard.open(SC_A)
+        assert safeguard.balance(SC_A) == 5
+
+
+class TestCopy:
+    def test_copy_is_independent(self, safeguard):
+        safeguard.deposit(SC_A, 10)
+        clone = safeguard.copy()
+        clone.withdraw(SC_A, 10)
+        assert safeguard.balance(SC_A) == 10
+        assert clone.balance(SC_A) == 0

@@ -1,0 +1,161 @@
+"""Serialization round-trips and encoding-injectivity tests.
+
+Every protocol object's canonical encoding must be stable (same object →
+same bytes), injective across field boundaries, and — where a from_bytes
+exists — round-trippable.  Ids derived from encodings must be domain
+separated across object kinds.
+"""
+
+import pytest
+
+from repro.core.transfers import (
+    BackwardTransfer,
+    BackwardTransferRequest,
+    CeasedSidechainWithdrawal,
+    ForwardTransfer,
+    WithdrawalCertificate,
+    derive_ledger_id,
+)
+from repro.crypto.keys import KeyPair
+from repro.latus.utxo import Utxo
+from repro.mainchain.block import BlockHeader
+from repro.snark.proving import PROOF_SIZE, Proof
+
+LEDGER = derive_ledger_id("serde")
+
+
+def proof() -> Proof:
+    return Proof(data=bytes(range(96)))
+
+
+class TestStability:
+    def test_ft_encoding_stable(self):
+        a = ForwardTransfer(ledger_id=LEDGER, receiver_metadata=b"m", amount=5)
+        b = ForwardTransfer(ledger_id=LEDGER, receiver_metadata=b"m", amount=5)
+        assert a.encode() == b.encode()
+        assert a.id == b.id
+
+    def test_wcert_encoding_stable(self):
+        def build():
+            return WithdrawalCertificate(
+                ledger_id=LEDGER,
+                epoch_id=1,
+                quality=2,
+                bt_list=(BackwardTransfer(receiver_addr=b"\x01" * 32, amount=3),),
+                proofdata=(4, 5),
+                proof=proof(),
+            )
+
+        assert build().encode() == build().encode()
+
+    def test_block_header_hash_covers_all_fields(self):
+        base = dict(
+            prev_hash=b"\x01" * 32,
+            height=5,
+            merkle_root=b"\x02" * 32,
+            sc_txs_commitment=b"\x03" * 32,
+            timestamp=7,
+            target_bits=4,
+            nonce=9,
+        )
+        reference = BlockHeader(**base).hash
+        for field_name, new_value in [
+            ("prev_hash", b"\x09" * 32),
+            ("height", 6),
+            ("merkle_root", b"\x09" * 32),
+            ("sc_txs_commitment", b"\x09" * 32),
+            ("timestamp", 8),
+            ("nonce", 10),
+        ]:
+            mutated = dict(base)
+            mutated[field_name] = new_value
+            assert BlockHeader(**mutated).hash != reference, field_name
+
+    def test_utxo_encoding_covers_all_fields(self):
+        reference = Utxo(addr=1, amount=2, nonce=3).encode()
+        assert Utxo(addr=9, amount=2, nonce=3).encode() != reference
+        assert Utxo(addr=1, amount=9, nonce=3).encode() != reference
+        assert Utxo(addr=1, amount=2, nonce=9).encode() != reference
+
+
+class TestDomainSeparation:
+    def test_btr_and_csw_ids_differ_for_same_content(self):
+        kwargs = dict(
+            ledger_id=LEDGER,
+            receiver=b"\x01" * 32,
+            amount=5,
+            nullifier=b"\x02" * 32,
+            proofdata=(1,),
+            proof=proof(),
+        )
+        assert BackwardTransferRequest(**kwargs).id != CeasedSidechainWithdrawal(**kwargs).id
+
+    def test_ft_and_bt_ids_in_distinct_domains(self):
+        ft = ForwardTransfer(ledger_id=LEDGER, receiver_metadata=b"", amount=5)
+        bt = BackwardTransfer(receiver_addr=LEDGER, amount=5)
+        assert ft.id != bt.id
+
+    def test_mainchain_tx_kinds_distinct(self, keys):
+        """Two different transaction kinds wrapping similar payloads have
+        different txids (the kind byte is in every encoding)."""
+        from repro.core.transfers import BackwardTransferRequest
+        from repro.mainchain.transaction import BtrTx, CswTx
+
+        btr = BackwardTransferRequest(
+            ledger_id=LEDGER,
+            receiver=b"\x01" * 32,
+            amount=5,
+            nullifier=b"\x02" * 32,
+            proofdata=(),
+            proof=proof(),
+        )
+        csw = CeasedSidechainWithdrawal(
+            ledger_id=LEDGER,
+            receiver=b"\x01" * 32,
+            amount=5,
+            nullifier=b"\x02" * 32,
+            proofdata=(),
+            proof=proof(),
+        )
+        assert BtrTx(requests=(btr,)).txid != CswTx(csw=csw).txid
+
+
+class TestLatusTransactionIds:
+    def test_payment_txid_excludes_signatures(self, keys):
+        from repro.latus.transactions import sign_payment
+        from repro.latus.utxo import address_to_field
+
+        u = Utxo(addr=address_to_field(keys["alice"].address), amount=10, nonce=1)
+        out = Utxo(addr=address_to_field(keys["bob"].address), amount=10, nonce=2)
+        tx1 = sign_payment([(u, keys["alice"])], [out])
+        tx2 = sign_payment([(u, keys["alice"])], [out])
+        assert tx1.txid == tx2.txid
+
+    def test_distinct_latus_kinds_distinct_ids(self):
+        from repro.latus.transactions import (
+            BackwardTransferRequestsTx,
+            ForwardTransfersTx,
+        )
+
+        ftt = ForwardTransfersTx(
+            mc_block_id=b"\x01" * 32, transfers=(), outputs=(), rejected=()
+        )
+        btt = BackwardTransferRequestsTx(
+            mc_block_id=b"\x01" * 32, requests=(), inputs=(), backward_transfers=()
+        )
+        assert ftt.txid != btt.txid
+
+    def test_sc_block_hash_excludes_signature(self):
+        from repro.latus.block import forge_block
+
+        forger = KeyPair.from_seed("serde/forger")
+        kwargs = dict(
+            parent_hash=b"\x00" * 32,
+            height=0,
+            slot=0,
+            forger=forger,
+            mc_refs=(),
+            transactions=(),
+            state_digest=1,
+        )
+        assert forge_block(**kwargs).hash == forge_block(**kwargs).hash

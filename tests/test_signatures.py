@@ -1,0 +1,102 @@
+"""Unit tests for Schnorr signatures and key pairs."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair, address_of
+from repro.crypto.signatures import (
+    GROUP_G,
+    GROUP_P,
+    GROUP_Q,
+    PrivateKey,
+    PublicKey,
+    Signature,
+)
+from repro.errors import SignatureError
+
+
+class TestGroup:
+    def test_safe_prime_relation(self):
+        assert GROUP_P == 2 * GROUP_Q + 1
+
+    def test_generator_has_order_q(self):
+        assert pow(GROUP_G, GROUP_Q, GROUP_P) == 1
+        assert pow(GROUP_G, 2, GROUP_P) != 1
+
+
+class TestSigning:
+    def test_sign_verify_roundtrip(self, keys):
+        alice = keys["alice"]
+        sig = alice.sign(b"message")
+        assert alice.verify(b"message", sig)
+
+    def test_wrong_message_rejected(self, keys):
+        sig = keys["alice"].sign(b"message")
+        assert not keys["alice"].verify(b"other", sig)
+
+    def test_wrong_key_rejected(self, keys):
+        sig = keys["alice"].sign(b"message")
+        assert not keys["bob"].verify(b"message", sig)
+
+    def test_deterministic_signatures(self, keys):
+        assert keys["alice"].sign(b"m") == keys["alice"].sign(b"m")
+
+    def test_different_messages_different_nonces(self, keys):
+        s1 = keys["alice"].sign(b"m1")
+        s2 = keys["alice"].sign(b"m2")
+        assert s1 != s2
+
+    def test_out_of_range_scalars_rejected(self, keys):
+        alice = keys["alice"]
+        sig = alice.sign(b"m")
+        assert not alice.verify(b"m", Signature(e=0, s=sig.s))
+        assert not alice.verify(b"m", Signature(e=sig.e, s=0))
+        assert not alice.verify(b"m", Signature(e=GROUP_Q, s=sig.s))
+
+    def test_degenerate_pubkey_rejected(self, keys):
+        sig = keys["alice"].sign(b"m")
+        assert not PublicKey(point=1).verify(b"m", sig)
+        assert not PublicKey(point=GROUP_P).verify(b"m", sig)
+
+    def test_tampered_signature_rejected(self, keys):
+        alice = keys["alice"]
+        sig = alice.sign(b"m")
+        assert not alice.verify(b"m", Signature(e=sig.e ^ 1, s=sig.s))
+        assert not alice.verify(b"m", Signature(e=sig.e, s=sig.s ^ 1))
+
+
+class TestSerialization:
+    def test_signature_roundtrip(self, keys):
+        sig = keys["alice"].sign(b"m")
+        assert Signature.from_bytes(sig.to_bytes()) == sig
+
+    def test_signature_size_fixed(self, keys):
+        assert len(keys["alice"].sign(b"m").to_bytes()) == 384
+
+    def test_signature_wrong_size_raises(self):
+        with pytest.raises(SignatureError):
+            Signature.from_bytes(b"\x00" * 100)
+
+    def test_pubkey_roundtrip(self, keys):
+        pk = keys["alice"].public
+        assert PublicKey.from_bytes(pk.to_bytes()) == pk
+
+    def test_pubkey_wrong_size_raises(self):
+        with pytest.raises(SignatureError):
+            PublicKey.from_bytes(b"\x00" * 10)
+
+
+class TestKeyPairs:
+    def test_seed_determinism(self):
+        assert KeyPair.from_seed("x").address == KeyPair.from_seed("x").address
+
+    def test_distinct_seeds_distinct_keys(self, keys):
+        assert keys["alice"].address != keys["bob"].address
+
+    def test_address_is_pubkey_hash(self, keys):
+        assert keys["alice"].address == address_of(keys["alice"].public)
+
+    def test_string_and_bytes_seeds_agree(self):
+        assert KeyPair.from_seed("s").address == KeyPair.from_seed(b"s").address
+
+    def test_private_key_from_seed_nonzero(self):
+        assert PrivateKey.from_seed(b"anything").scalar != 0

@@ -1,0 +1,141 @@
+"""Property-based tests on Latus state transitions (hypothesis).
+
+The central invariant (DESIGN.md §6): across any sequence of valid
+transitions, sidechain value is conserved — coins in the MST plus coins
+queued as backward transfers always equal coins minted minus coins already
+shipped out; and ``update`` either applies completely or leaves the state
+byte-identical.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.transfers import BackwardTransfer
+from repro.crypto.keys import KeyPair
+from repro.errors import StateTransitionError
+from repro.latus.state import LatusState
+from repro.latus.transactions import sign_backward_transfer, sign_payment
+from repro.latus.utxo import Utxo, address_to_field, derive_nonce
+
+# a fixed cast of actors so hypothesis doesn't pay keygen per example
+ACTORS = [KeyPair.from_seed(f"prop/actor-{i}") for i in range(3)]
+ACTOR_FIELDS = [address_to_field(a.address) for a in ACTORS]
+
+
+def tracked_value(state: LatusState, utxo_index: dict[int, Utxo]) -> int:
+    in_tree = sum(u.amount for u in utxo_index.values() if state.mst.contains(u))
+    queued = sum(bt.amount for bt in state.backward_transfers)
+    return in_tree + queued
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["pay", "withdraw"]),
+        st.integers(min_value=0, max_value=2),  # actor index
+        st.integers(min_value=0, max_value=2),  # receiver index
+        st.integers(min_value=1, max_value=120),  # amount
+    ),
+    max_size=12,
+)
+
+
+class TestValueConservation:
+    @given(operations)
+    @settings(max_examples=20, deadline=None)
+    def test_conservation_and_atomicity(self, ops):
+        state = LatusState(10)
+        utxo_index: dict[int, Utxo] = {}
+        # mint 100 to each actor
+        for i, actor_field in enumerate(ACTOR_FIELDS):
+            u = Utxo(addr=actor_field, amount=100, nonce=derive_nonce(b"seed", bytes([i])))
+            state.mst.add(u)
+            utxo_index[u.nonce] = u
+        minted = 300
+        shipped = 0
+        counter = 0
+
+        for op, sender_i, receiver_i, amount in ops:
+            counter += 1
+            sender = ACTORS[sender_i]
+            sender_field = ACTOR_FIELDS[sender_i]
+            owned = [
+                u
+                for u in utxo_index.values()
+                if u.addr == sender_field and state.mst.contains(u)
+            ]
+            if not owned:
+                continue
+            coin = max(owned, key=lambda u: u.amount)
+            digest_before = state.digest()
+            if op == "pay":
+                outs = [
+                    Utxo(
+                        addr=ACTOR_FIELDS[receiver_i],
+                        amount=amount,
+                        nonce=derive_nonce(b"out", counter.to_bytes(4, "little")),
+                    )
+                ]
+                if coin.amount > amount:
+                    outs.append(
+                        Utxo(
+                            addr=sender_field,
+                            amount=coin.amount - amount,
+                            nonce=derive_nonce(b"chg", counter.to_bytes(4, "little")),
+                        )
+                    )
+                tx = sign_payment([(coin, sender)], outs)
+            else:
+                bts = [
+                    BackwardTransfer(
+                        receiver_addr=ACTORS[receiver_i].address,
+                        amount=min(amount, coin.amount),
+                    )
+                ]
+                if coin.amount > amount:
+                    bts.append(
+                        BackwardTransfer(
+                            receiver_addr=sender.address,
+                            amount=coin.amount - amount,
+                        )
+                    )
+                tx = sign_backward_transfer([(coin, sender)], bts)
+            try:
+                state.apply(tx)
+            except StateTransitionError:
+                # atomicity: a rejected transition leaves the state intact
+                assert state.digest() == digest_before
+                continue
+            # bookkeeping after success
+            utxo_index.pop(coin.nonce, None)
+            if op == "pay":
+                for out in tx.outputs:
+                    utxo_index[out.nonce] = out
+            # conservation: value in tree + queued BTs == minted - shipped
+            assert tracked_value(state, utxo_index) == minted - shipped
+
+        # epoch rollover ships the queued BTs out
+        shipped += sum(bt.amount for bt in state.backward_transfers)
+        state.start_new_epoch()
+        assert tracked_value(state, utxo_index) == minted - shipped
+
+
+class TestDigestInjectivity:
+    @given(st.integers(min_value=1, max_value=1 << 32))
+    @settings(max_examples=20, deadline=None)
+    def test_distinct_states_distinct_digests(self, nonce):
+        a = LatusState(8)
+        b = LatusState(8)
+        u = Utxo(addr=ACTOR_FIELDS[0], amount=5, nonce=nonce)
+        a.mst.add(u)
+        assert a.digest() != b.digest()
+
+    @given(st.integers(min_value=1, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_bt_order_affects_digest(self, amount):
+        a = LatusState(8)
+        b = LatusState(8)
+        bt1 = BackwardTransfer(receiver_addr=ACTORS[0].address, amount=amount)
+        bt2 = BackwardTransfer(receiver_addr=ACTORS[1].address, amount=amount + 1)
+        a.backward_transfers = [bt1, bt2]
+        b.backward_transfers = [bt2, bt1]
+        assert a.digest() != b.digest()

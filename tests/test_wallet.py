@@ -1,0 +1,91 @@
+"""Unit tests for the Latus wallet (repro.latus.wallet)."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.errors import LatusError
+from repro.scenarios import ZendooHarness
+
+ALICE = KeyPair.from_seed("alice")
+BOB = KeyPair.from_seed("bob")
+
+
+@pytest.fixture
+def funded():
+    harness = ZendooHarness()
+    harness.mine(2)
+    sc = harness.create_sidechain("wallet-test", epoch_len=5, submit_len=2)
+    harness.forward_transfer(sc, ALICE, 10_000)
+    harness.mine(2)
+    return harness, sc
+
+
+class TestBalances:
+    def test_balance_after_funding(self, funded):
+        harness, sc = funded
+        assert harness.wallet(sc, ALICE).balance() == 10_000
+        assert harness.wallet(sc, BOB).balance() == 0
+
+    def test_utxos_listing(self, funded):
+        harness, sc = funded
+        utxos = harness.wallet(sc, ALICE).utxos()
+        assert len(utxos) == 1
+        assert utxos[0].amount == 10_000
+
+
+class TestPayments:
+    def test_pay_with_change(self, funded):
+        harness, sc = funded
+        harness.wallet(sc, ALICE).pay(BOB.address, 3000)
+        harness.mine(1)
+        assert harness.wallet(sc, BOB).balance() == 3000
+        assert harness.wallet(sc, ALICE).balance() == 7000
+
+    def test_pay_with_fee(self, funded):
+        harness, sc = funded
+        harness.wallet(sc, ALICE).pay(BOB.address, 3000, fee=100)
+        harness.mine(1)
+        assert harness.wallet(sc, ALICE).balance() == 6900
+
+    def test_insufficient_funds_rejected(self, funded):
+        harness, sc = funded
+        with pytest.raises(LatusError):
+            harness.wallet(sc, ALICE).pay(BOB.address, 10_001)
+
+    def test_non_positive_amount_rejected(self, funded):
+        harness, sc = funded
+        with pytest.raises(LatusError):
+            harness.wallet(sc, ALICE).pay(BOB.address, 0)
+
+    def test_multi_utxo_selection(self, funded):
+        harness, sc = funded
+        harness.forward_transfer(sc, ALICE, 500)
+        harness.mine(2)
+        wallet = harness.wallet(sc, ALICE)
+        assert wallet.balance() == 10_500
+        wallet.pay(BOB.address, 10_200)  # needs both coins
+        harness.mine(1)
+        assert harness.wallet(sc, BOB).balance() == 10_200
+
+
+class TestWithdrawals:
+    def test_withdraw_exact(self, funded):
+        harness, sc = funded
+        wallet = harness.wallet(sc, ALICE)
+        tx = wallet.withdraw(BOB.address, 10_000)
+        assert len(tx.backward_transfers) == 1
+        harness.mine(1)
+        assert wallet.balance() == 0
+        assert sc.node.state.backward_transfers
+
+    def test_withdraw_surplus_also_leaves(self, funded):
+        harness, sc = funded
+        wallet = harness.wallet(sc, ALICE)
+        tx = wallet.withdraw(BOB.address, 4000)
+        amounts = sorted(bt.amount for bt in tx.backward_transfers)
+        assert amounts == [4000, 6000]
+
+    def test_withdraw_insufficient_rejected(self, funded):
+        harness, sc = funded
+        with pytest.raises(LatusError):
+            harness.wallet(sc, ALICE).withdraw(BOB.address, 10_001)

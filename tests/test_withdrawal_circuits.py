@@ -1,0 +1,138 @@
+"""Unit tests for the BTR/CSW circuits (repro.latus.withdrawal_circuits)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.errors import UnsatisfiedConstraint
+from repro.latus.withdrawal_circuits import (
+    LatusBtrCircuit,
+    LatusCswCircuit,
+    sign_withdrawal,
+    withdrawal_auth_message,
+)
+from repro.scenarios import ZendooHarness
+from repro.snark import proving
+
+ALICE = KeyPair.from_seed("alice")
+DEST = KeyPair.from_seed("mc-dest")
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    harness = ZendooHarness()
+    harness.mine(2)
+    sc = harness.create_sidechain("withdraw-test", epoch_len=4, submit_len=2)
+    harness.forward_transfer(sc, ALICE, 777_000)
+    harness.run_epochs(sc, 1)
+    utxo = harness.wallet(sc, ALICE).utxos()[0]
+    witness, anchor_hash = harness._withdrawal_witness(sc, utxo, ALICE, DEST.address)
+    return harness, sc, utxo, witness, anchor_hash
+
+
+def btr_public(harness, sc, utxo, anchor_hash=None, receiver=None, amount=None, anchor=None):
+    from repro.core.transfers import BackwardTransferRequest
+
+    draft = BackwardTransferRequest(
+        ledger_id=sc.ledger_id,
+        receiver=receiver or DEST.address,
+        amount=amount if amount is not None else utxo.amount,
+        nullifier=utxo.nullifier,
+        proofdata=utxo.as_field_elements(),
+        proof=proving.Proof(data=bytes(proving.PROOF_SIZE)),
+    )
+    return draft.public_input(anchor if anchor is not None else anchor_hash)
+
+
+class TestHonestProofs:
+    def test_btr_proof_roundtrip(self, scenario):
+        harness, sc, utxo, witness, anchor = scenario
+        pk, vk = proving.setup(LatusBtrCircuit())
+        public = btr_public(harness, sc, utxo, anchor)
+        result = proving.prove_with_stats(pk, public, witness)
+        assert proving.verify(vk, public, result.proof)
+        # Merkle membership + two MiMC hashes: real constraints
+        assert result.stats.num_constraints > 4000
+
+    def test_csw_circuit_is_same_statement_different_key(self, scenario):
+        harness, sc, utxo, witness, anchor = scenario
+        btr_pk, btr_vk = proving.setup(LatusBtrCircuit())
+        csw_pk, csw_vk = proving.setup(LatusCswCircuit())
+        public = btr_public(harness, sc, utxo, anchor)
+        btr_proof = proving.prove(btr_pk, public, witness)
+        csw_proof = proving.prove(csw_pk, public, witness)
+        assert proving.verify(csw_vk, public, csw_proof)
+        # the two keys are distinct: proofs do not cross-verify
+        assert not proving.verify(csw_vk, public, btr_proof)
+        assert not proving.verify(btr_vk, public, csw_proof)
+
+
+class TestStatementEnforcement:
+    def _prove(self, public, witness):
+        pk, _ = proving.setup(LatusBtrCircuit())
+        return proving.prove(pk, public, witness)
+
+    def test_wrong_amount_rejected(self, scenario):
+        harness, sc, utxo, witness, anchor = scenario
+        public = btr_public(harness, sc, utxo, anchor, amount=utxo.amount - 1)
+        with pytest.raises(UnsatisfiedConstraint):
+            self._prove(public, witness)
+
+    def test_wrong_nullifier_rejected(self, scenario):
+        harness, sc, utxo, witness, anchor = scenario
+        public = list(btr_public(harness, sc, utxo, anchor))
+        public[1] = public[1] + 1  # tamper the nullifier element
+        with pytest.raises(UnsatisfiedConstraint):
+            self._prove(tuple(public), witness)
+
+    def test_wrong_anchor_block_rejected(self, scenario):
+        harness, sc, utxo, witness, anchor = scenario
+        genesis_hash = harness.mc.chain.genesis.hash
+        public = btr_public(harness, sc, utxo, anchor=genesis_hash)
+        with pytest.raises(UnsatisfiedConstraint):
+            self._prove(public, witness)
+
+    def test_foreign_signature_rejected(self, scenario):
+        harness, sc, utxo, witness, anchor = scenario
+        mallory = KeyPair.from_seed("mallory")
+        stolen = replace(
+            witness,
+            owner_pubkey=mallory.public,
+            signature=sign_withdrawal(sc.ledger_id, utxo, DEST.address, mallory),
+        )
+        public = btr_public(harness, sc, utxo, anchor)
+        with pytest.raises(UnsatisfiedConstraint):
+            self._prove(public, stolen)
+
+    def test_signature_over_other_receiver_rejected(self, scenario):
+        harness, sc, utxo, witness, anchor = scenario
+        other = KeyPair.from_seed("other-dest")
+        redirected = replace(
+            witness,
+            signature=sign_withdrawal(sc.ledger_id, utxo, other.address, ALICE),
+        )
+        public = btr_public(harness, sc, utxo, anchor)
+        with pytest.raises(UnsatisfiedConstraint):
+            self._prove(public, redirected)
+
+    def test_receiver_binding_rejects_redirect(self, scenario):
+        harness, sc, utxo, witness, anchor = scenario
+        mallory = KeyPair.from_seed("mallory")
+        public = btr_public(harness, sc, utxo, anchor, receiver=mallory.address)
+        with pytest.raises(UnsatisfiedConstraint):
+            self._prove(public, witness)
+
+    def test_stale_mst_proof_rejected(self, scenario):
+        harness, sc, utxo, witness, anchor = scenario
+        stale = replace(witness, committed_mst_root=witness.committed_mst_root + 1)
+        public = btr_public(harness, sc, utxo, anchor)
+        with pytest.raises(UnsatisfiedConstraint):
+            self._prove(public, stale)
+
+    def test_auth_message_binds_all_fields(self, scenario):
+        _, sc, utxo, _, _ = scenario
+        base = withdrawal_auth_message(sc.ledger_id, utxo, DEST.address)
+        assert base != withdrawal_auth_message(sc.ledger_id, utxo, b"\x00" * 32)
+        other_ledger = bytes(32)
+        assert base != withdrawal_auth_message(other_ledger, utxo, DEST.address)

@@ -7,6 +7,7 @@ costs versus tree depth (O(depth) MiMC compressions per update).
 
 import pytest
 
+from repro.crypto import mimc
 from repro.latus.mst import MerkleStateTree
 from repro.latus.utxo import Utxo
 
@@ -72,3 +73,63 @@ class TestFig9Mst:
         mst = benchmark.pedantic(populate, iterations=1, rounds=1)
         assert mst.occupied_count >= 499
         benchmark.extra_info["occupied"] = mst.occupied_count
+
+
+def _distinct_slot_utxos(depth: int, count: int) -> list[Utxo]:
+    """``count`` UTXOs whose MST positions are pairwise distinct."""
+    utxos: list[Utxo] = []
+    seen: set[int] = set()
+    nonce = 0
+    while len(utxos) < count:
+        u = Utxo(addr=1, amount=5, nonce=nonce)
+        nonce += 1
+        position = u.position(depth)
+        if position not in seen:
+            seen.add(position)
+            utxos.append(u)
+    return utxos
+
+
+class TestMstBulkInsert:
+    """The epoch-style bulk workload: many forward transfers landing in one
+    state application, sequential ``add`` versus one ``apply_batch``."""
+
+    DEPTH = 12
+    N = 1024
+
+    def test_bench_sequential_adds(self, benchmark):
+        utxos = _distinct_slot_utxos(self.DEPTH, self.N)
+
+        def run():
+            mimc.clear_cache()
+            mst = MerkleStateTree(self.DEPTH)
+            for u in utxos:
+                mst.add(u)
+            return mst
+
+        mimc.reset_stats()
+        mst = benchmark.pedantic(run, iterations=1, rounds=3)
+        assert mst.occupied_count == self.N
+        benchmark.extra_info["mimc"] = mimc.stats()
+
+    def test_bench_batched_apply(self, benchmark):
+        utxos = _distinct_slot_utxos(self.DEPTH, self.N)
+
+        def run():
+            mimc.clear_cache()
+            mst = MerkleStateTree(self.DEPTH)
+            mst.apply_batch(add=utxos)
+            return mst
+
+        mimc.reset_stats()
+        mst = benchmark.pedantic(run, iterations=1, rounds=3)
+        assert mst.occupied_count == self.N
+        benchmark.extra_info["mimc"] = mimc.stats()
+
+    def test_batched_root_matches_sequential(self):
+        utxos = _distinct_slot_utxos(self.DEPTH, 64)
+        sequential, batched = MerkleStateTree(self.DEPTH), MerkleStateTree(self.DEPTH)
+        for u in utxos:
+            sequential.add(u)
+        batched.apply_batch(add=utxos)
+        assert batched.root == sequential.root

@@ -1,0 +1,173 @@
+"""Benchmark smoke target: ``python -m benchmarks.smoke``.
+
+Runs the Merkle/MST bulk-insert workloads from ``bench_f02_merkle.py`` and
+``bench_f09_mst.py`` at small sizes *without* pytest, records wall-time and
+mimc compression-count numbers to ``BENCH_pr1.json``, and exits non-zero on
+gross regression:
+
+* the batched field-tree workload performing more than 2x the
+  distinct-dirty-ancestor compression count it should need;
+* the batched MST workload no longer performing fewer compressions than the
+  sequential one;
+* any batched root diverging from its sequential reference.
+
+Intended as a cheap CI gate for the MiMC/Merkle performance layer (see
+docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.crypto import mimc
+from repro.crypto.fixed_merkle import FixedMerkleTree
+from repro.latus.mst import MerkleStateTree
+from repro.latus.utxo import Utxo
+
+MERKLE_DEPTH = 16
+MERKLE_LEAVES = 128
+MST_DEPTH = 12
+MST_UTXOS = 512
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_pr1.json"
+
+
+def _measure(fn):
+    """Run ``fn`` from a cold cache with zeroed counters; time and count it."""
+    mimc.clear_cache()
+    mimc.reset_stats()
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    return result, elapsed, mimc.stats()
+
+
+def distinct_ancestors(positions, depth: int) -> int:
+    """Number of distinct interior nodes on the paths of ``positions``."""
+    count = 0
+    frontier = set(positions)
+    for _ in range(depth):
+        frontier = {p >> 1 for p in frontier}
+        count += len(frontier)
+    return count
+
+
+def run_merkle_workload() -> dict:
+    """Contiguous bulk insert into the MiMC field tree (bench F2 shape)."""
+    updates = [(i, i + 1) for i in range(MERKLE_LEAVES)]
+
+    def sequential():
+        tree = FixedMerkleTree(MERKLE_DEPTH)
+        for position, value in updates:
+            tree.set_leaf(position, value)
+        return tree
+
+    def batched():
+        tree = FixedMerkleTree(MERKLE_DEPTH)
+        tree.set_leaves(updates)
+        return tree
+
+    seq_tree, seq_time, seq_stats = _measure(sequential)
+    bat_tree, bat_time, bat_stats = _measure(batched)
+    expected = distinct_ancestors([p for p, _ in updates], MERKLE_DEPTH)
+    return {
+        "workload": f"FixedMerkleTree depth={MERKLE_DEPTH}, {MERKLE_LEAVES} contiguous leaves",
+        "sequential": {"wall_s": seq_time, **seq_stats},
+        "batched": {"wall_s": bat_time, **bat_stats},
+        "expected_batched_compressions": expected,
+        "wall_speedup": seq_time / bat_time if bat_time else float("inf"),
+        "compression_ratio": seq_stats["compressions"] / max(1, bat_stats["compressions"]),
+        "roots_match": seq_tree.root == bat_tree.root,
+    }
+
+
+def run_mst_workload() -> dict:
+    """Epoch-style bulk UTXO insert into the MST (bench F9 shape)."""
+    utxos: list[Utxo] = []
+    seen: set[int] = set()
+    nonce = 0
+    while len(utxos) < MST_UTXOS:
+        u = Utxo(addr=1, amount=5, nonce=nonce)
+        nonce += 1
+        position = u.position(MST_DEPTH)
+        if position not in seen:
+            seen.add(position)
+            utxos.append(u)
+
+    def sequential():
+        mst = MerkleStateTree(MST_DEPTH)
+        for u in utxos:
+            mst.add(u)
+        return mst
+
+    def batched():
+        mst = MerkleStateTree(MST_DEPTH)
+        mst.apply_batch(add=utxos)
+        return mst
+
+    seq_mst, seq_time, seq_stats = _measure(sequential)
+    bat_mst, bat_time, bat_stats = _measure(batched)
+    return {
+        "workload": f"MerkleStateTree depth={MST_DEPTH}, {MST_UTXOS} utxos",
+        "sequential": {"wall_s": seq_time, **seq_stats},
+        "batched": {"wall_s": bat_time, **bat_stats},
+        "expected_batched_ancestors": distinct_ancestors(seen, MST_DEPTH),
+        "wall_speedup": seq_time / bat_time if bat_time else float("inf"),
+        "compression_ratio": seq_stats["compressions"] / max(1, bat_stats["compressions"]),
+        "roots_match": seq_mst.root == bat_mst.root,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="output JSON path")
+    args = parser.parse_args(argv)
+    if not args.out.parent.is_dir():
+        parser.error(f"output directory does not exist: {args.out.parent}")
+
+    merkle = run_merkle_workload()
+    mst = run_mst_workload()
+
+    checks = {
+        "merkle_roots_match": merkle["roots_match"],
+        "mst_roots_match": mst["roots_match"],
+        # gross-regression gate: batched workload must stay within 2x of the
+        # distinct-ancestor compression count it is supposed to perform
+        "merkle_batched_within_2x_ancestors": (
+            merkle["batched"]["compressions"]
+            <= 2 * merkle["expected_batched_compressions"]
+        ),
+        "mst_batched_fewer_compressions": (
+            mst["batched"]["compressions"] < mst["sequential"]["compressions"]
+        ),
+    }
+
+    report = {
+        "suite": "mimc-merkle performance smoke (PR 1)",
+        "workloads": {"merkle_bulk_insert": merkle, "mst_bulk_insert": mst},
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    for name, result in report["workloads"].items():
+        print(
+            f"{name}: sequential {result['sequential']['wall_s']:.3f}s "
+            f"({result['sequential']['compressions']} compressions) vs batched "
+            f"{result['batched']['wall_s']:.3f}s "
+            f"({result['batched']['compressions']} compressions) — "
+            f"{result['wall_speedup']:.1f}x wall, "
+            f"{result['compression_ratio']:.1f}x fewer calls"
+        )
+    for name, passed in checks.items():
+        print(f"  check {name}: {'ok' if passed else 'FAIL'}")
+    print(f"wrote {args.out}")
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

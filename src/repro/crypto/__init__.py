@@ -15,7 +15,15 @@ from repro.crypto.fixed_merkle import EMPTY_LEAF, FieldMerkleProof, FixedMerkleT
 from repro.crypto.hashing import NULL_DIGEST, hash_bytes, hash_concat, hash_pair
 from repro.crypto.keys import KeyPair, address_of
 from repro.crypto.merkle import MerkleProof, MerkleTree, leaf_hash, merkle_root
-from repro.crypto.mimc import mimc_compress, mimc_hash, mimc_hash_bytes, mimc_permutation
+from repro.crypto.mimc import (
+    clear_cache as clear_mimc_cache,
+    mimc_compress,
+    mimc_hash,
+    mimc_hash_bytes,
+    mimc_permutation,
+    reset_stats as reset_mimc_stats,
+    stats as mimc_stats,
+)
 from repro.crypto.signatures import PrivateKey, PublicKey, Signature
 
 __all__ = [
@@ -32,6 +40,7 @@ __all__ = [
     "PublicKey",
     "Signature",
     "address_of",
+    "clear_mimc_cache",
     "empty_root",
     "hash_bytes",
     "hash_concat",
@@ -42,4 +51,6 @@ __all__ = [
     "mimc_hash",
     "mimc_hash_bytes",
     "mimc_permutation",
+    "mimc_stats",
+    "reset_mimc_stats",
 ]

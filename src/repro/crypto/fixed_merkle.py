@@ -10,12 +10,17 @@ The implementation stores only occupied nodes in a dict keyed by
 ``(level, index)`` and precomputes the hash of the all-empty subtree at each
 level, so a tree of depth 30 with a handful of UTXOs costs O(occupied * D)
 memory, and single-leaf updates cost O(D).
+
+Bulk workloads should use :meth:`FixedMerkleTree.set_leaves`, which writes
+every leaf first and then rehashes each *distinct* dirty ancestor exactly
+once level-by-level — O(distinct ancestors) compressions instead of the
+O(k * D) a loop of :meth:`FixedMerkleTree.set_leaf` calls costs (see
+docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
 from repro.crypto.mimc import mimc_compress
 from repro.errors import MerkleError
@@ -23,16 +28,31 @@ from repro.errors import MerkleError
 #: Sentinel field value of an empty leaf slot (the paper's ``H(Null)``).
 EMPTY_LEAF: int = 0
 
+#: Deepest supported tree; the empty-subtree roots are precomputed up to it.
+MAX_DEPTH: int = 63
 
-@lru_cache(maxsize=None)
+
+def _build_empty_roots(max_depth: int) -> tuple[int, ...]:
+    """Table of all-empty subtree hashes: entry ``d`` is ``empty_root(d)``."""
+    table = [EMPTY_LEAF]
+    for _ in range(max_depth):
+        child = table[-1]
+        table.append(mimc_compress(child, child))
+    return tuple(table)
+
+
+#: ``_EMPTY_ROOTS[level]`` is the hash of the all-empty subtree of that
+#: height — a plain tuple lookup on the hot path (no recursion, no cache).
+_EMPTY_ROOTS: tuple[int, ...] = _build_empty_roots(MAX_DEPTH)
+
+
 def empty_root(depth: int) -> int:
     """Hash of the all-empty subtree of ``depth`` levels above the leaves."""
     if depth < 0:
         raise MerkleError("depth must be non-negative")
-    if depth == 0:
-        return EMPTY_LEAF
-    child = empty_root(depth - 1)
-    return mimc_compress(child, child)
+    if depth > MAX_DEPTH:
+        raise MerkleError(f"depth {depth} exceeds max supported depth {MAX_DEPTH}")
+    return _EMPTY_ROOTS[depth]
 
 
 @dataclass(frozen=True)
@@ -53,7 +73,12 @@ class FieldMerkleProof:
         return len(self.siblings)
 
     def compute_root(self) -> int:
-        """Recompute the root committed to by this proof."""
+        """Recompute the root committed to by this proof.
+
+        Goes through :func:`repro.crypto.mimc.mimc_compress`, so repeated
+        verification of the same proof (or proofs sharing ancestors) hits
+        the shared compress cache.
+        """
         node = self.leaf
         index = self.position
         for sibling in self.siblings:
@@ -73,24 +98,26 @@ class FixedMerkleTree:
     """A sparse fixed-depth Merkle tree over field elements.
 
     Leaves are addressed by position in ``[0, 2**depth)``.  Unset leaves hold
-    :data:`EMPTY_LEAF`.  The tree supports point reads/writes, proofs, and a
-    cheap ``copy`` for state snapshotting.
+    :data:`EMPTY_LEAF`.  The tree supports point reads/writes, batched
+    writes, proofs, and a cheap ``copy`` for state snapshotting.
     """
 
     def __init__(self, depth: int) -> None:
         if depth < 1:
             raise MerkleError("tree depth must be >= 1")
-        if depth > 63:
-            raise MerkleError("tree depth > 63 is not supported")
+        if depth > MAX_DEPTH:
+            raise MerkleError(f"tree depth > {MAX_DEPTH} is not supported")
         self.depth = depth
         self.capacity = 1 << depth
         # nodes[(level, index)] -> value; level 0 = leaves, level depth = root
         self._nodes: dict[tuple[int, int], int] = {}
+        # incremental count of non-empty leaves (maintained by _store)
+        self._occupied = 0
 
     # -- reads --------------------------------------------------------------
 
     def _node(self, level: int, index: int) -> int:
-        return self._nodes.get((level, index), empty_root(level))
+        return self._nodes.get((level, index), _EMPTY_ROOTS[level])
 
     @property
     def root(self) -> int:
@@ -108,8 +135,8 @@ class FixedMerkleTree:
 
     @property
     def occupied_count(self) -> int:
-        """Number of non-empty leaf slots."""
-        return sum(1 for (level, _), v in self._nodes.items() if level == 0 and v != EMPTY_LEAF)
+        """Number of non-empty leaf slots (O(1): tracked incrementally)."""
+        return self._occupied
 
     def occupied_positions(self) -> list[int]:
         """Sorted positions of non-empty leaves."""
@@ -137,14 +164,48 @@ class FixedMerkleTree:
             index >>= 1
             self._store(level, index, node)
 
+    def set_leaves(self, updates) -> None:
+        """Batch write: apply many ``position -> value`` updates at once.
+
+        ``updates`` is a mapping or an iterable of ``(position, value)``
+        pairs; later pairs for the same position win, matching the effect of
+        sequential :meth:`set_leaf` calls.  All leaves are written first,
+        then every *distinct* dirty ancestor is rehashed exactly once
+        level-by-level, so ``k`` updates cost O(distinct ancestors)
+        compressions instead of O(k * depth).  The resulting tree is
+        identical to the one a sequence of ``set_leaf`` calls produces.
+        """
+        items = updates.items() if isinstance(updates, dict) else updates
+        pending: dict[int, int] = {}
+        for position, value in items:
+            self._check_position(position)
+            pending[position] = value
+        if not pending:
+            return
+        for position, value in pending.items():
+            self._store(0, position, value)
+        dirty = set(pending)
+        for level in range(1, self.depth + 1):
+            parents = {index >> 1 for index in dirty}
+            below = level - 1
+            for index in parents:
+                node = mimc_compress(
+                    self._node(below, index << 1), self._node(below, (index << 1) | 1)
+                )
+                self._store(level, index, node)
+            dirty = parents
+
     def clear_leaf(self, position: int) -> None:
         """Reset the slot at ``position`` to empty."""
         self.set_leaf(position, EMPTY_LEAF)
 
     def _store(self, level: int, index: int, value: int) -> None:
-        if value == empty_root(level):
-            self._nodes.pop((level, index), None)
+        if value == _EMPTY_ROOTS[level]:
+            if self._nodes.pop((level, index), None) is not None and level == 0:
+                self._occupied -= 1
         else:
+            if level == 0 and (0, index) not in self._nodes:
+                self._occupied += 1
             self._nodes[(level, index)] = value
 
     # -- proofs --------------------------------------------------------------
@@ -167,6 +228,7 @@ class FixedMerkleTree:
         """An independent snapshot of the tree (O(occupied nodes))."""
         clone = FixedMerkleTree(self.depth)
         clone._nodes = dict(self._nodes)
+        clone._occupied = self._occupied
         return clone
 
     def _check_position(self, position: int) -> None:

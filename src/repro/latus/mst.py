@@ -11,6 +11,8 @@ reset; that set is the source of the ``mst_delta`` bit vector (Appendix A).
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.crypto.fixed_merkle import EMPTY_LEAF, FieldMerkleProof, FixedMerkleTree
 from repro.errors import MstError
 from repro.latus.utxo import Utxo
@@ -84,6 +86,55 @@ class MerkleStateTree:
         self._tree.set_leaf(position, EMPTY_LEAF)
         self._touched.add(position)
         return position
+
+    def apply_batch(
+        self, add: Iterable[Utxo] = (), remove: Iterable[Utxo] = ()
+    ) -> tuple[list[int], list[int]]:
+        """Apply removals then additions as one batched Merkle update.
+
+        Equivalent to calling :meth:`remove` for every UTXO in ``remove``
+        followed by :meth:`add` for every UTXO in ``add`` (an addition may
+        reuse a slot freed in the same batch), but the tree rehashes each
+        distinct dirty ancestor exactly once instead of once per UTXO.
+        Validates the whole batch before mutating anything: on
+        :class:`MstError` the state is unchanged.
+
+        Returns ``(removed_positions, added_positions)``.
+        """
+        updates: dict[int, int] = {}
+        removed_positions: list[int] = []
+        freed: set[int] = set()
+        for utxo in remove:
+            position = self.position_of(utxo)
+            if position in freed:
+                raise MstError(f"batch removes MST slot {position} twice")
+            if self._tree.get_leaf(position) != utxo.leaf_value:
+                raise MstError(
+                    f"MST slot {position} does not contain the claimed utxo"
+                )
+            freed.add(position)
+            updates[position] = EMPTY_LEAF
+            removed_positions.append(position)
+        added_positions: list[int] = []
+        planned: set[int] = set()
+        for utxo in add:
+            position = self.position_of(utxo)
+            occupied = self._tree.is_occupied(position) and position not in freed
+            if occupied or position in planned:
+                raise MstError(
+                    f"MST slot {position} is already occupied (collision)"
+                )
+            planned.add(position)
+            updates[position] = utxo.leaf_value
+            added_positions.append(position)
+        self._tree.set_leaves(updates)
+        self._touched.update(updates)
+        return removed_positions, added_positions
+
+    def add_batch(self, utxos: Iterable[Utxo]) -> list[int]:
+        """Occupy every UTXO's slot in one batched update (see apply_batch)."""
+        _, added = self.apply_batch(add=utxos)
+        return added
 
     # -- proofs ------------------------------------------------------------------
 

@@ -169,10 +169,9 @@ class LatusState:
         add: list[Utxo],
         new_bts: list[BackwardTransfer],
     ) -> None:
-        for utxo in remove:
-            self.mst.remove(utxo)
-        for utxo in add:
-            self.mst.add(utxo)
+        # one batched Merkle update per transaction: each distinct dirty
+        # ancestor is rehashed once, not once per input/output
+        self.mst.apply_batch(add=add, remove=remove)
         self.backward_transfers.extend(new_bts)
 
     # -- epoch lifecycle ------------------------------------------------------------

@@ -5,6 +5,13 @@ power map via three multiplications (``t2 = t*t``, ``t4 = t2*t2``,
 ``r' = t4*t``), exactly matching :func:`repro.crypto.mimc.mimc_permutation`.
 A two-to-one compression therefore costs ``3 * ROUNDS`` constraints, which is
 the dominant cost driver of Merkle-path circuits (bench Q5).
+
+The native side is an exec-compiled unrolled permutation (see
+docs/PERFORMANCE.md); this gadget is the constraint-level specification it
+must stay faithful to.  The randomized parity sweep in
+``tests/test_mimc.py::TestGadgetNativeParity`` enforces the agreement, so
+any change to the round structure here must be mirrored in
+:mod:`repro.crypto.mimc` and vice versa.
 """
 
 from __future__ import annotations

@@ -1,13 +1,17 @@
 """Unit tests for fixed-depth field trees (repro.crypto.fixed_merkle)."""
 
+import random
+
 import pytest
 
 from repro.crypto.fixed_merkle import (
     EMPTY_LEAF,
+    MAX_DEPTH,
     FieldMerkleProof,
     FixedMerkleTree,
     empty_root,
 )
+from repro.crypto.mimc import mimc_compress
 from repro.errors import MerkleError
 
 
@@ -22,6 +26,19 @@ class TestEmptyRoots:
     def test_negative_depth_raises(self):
         with pytest.raises(MerkleError):
             empty_root(-1)
+
+    def test_beyond_max_depth_raises(self):
+        with pytest.raises(MerkleError):
+            empty_root(MAX_DEPTH + 1)
+
+    def test_table_matches_recursive_definition(self):
+        # the precomputed table must satisfy the recurrence
+        for depth in range(1, 12):
+            child = empty_root(depth - 1)
+            assert empty_root(depth) == mimc_compress(child, child)
+
+    def test_max_depth_entry_exists(self):
+        assert isinstance(empty_root(MAX_DEPTH), int)
 
     def test_fresh_tree_root_matches_empty_root(self):
         assert FixedMerkleTree(5).root == empty_root(5)
@@ -138,3 +155,86 @@ class TestCopy:
         clone.set_leaf(3, 1)
         assert tree.root != clone.root
         assert not tree.is_occupied(3)
+
+    def test_copy_preserves_occupied_count(self):
+        tree = FixedMerkleTree(5)
+        tree.set_leaf(2, 9)
+        tree.set_leaf(4, 3)
+        clone = tree.copy()
+        assert clone.occupied_count == 2
+        clone.clear_leaf(2)
+        assert clone.occupied_count == 1
+        assert tree.occupied_count == 2
+
+
+class TestSetLeaves:
+    """Property tests: batched writes must match sequential set_leaf."""
+
+    def test_equivalent_to_sequential_random(self):
+        rng = random.Random(0xBA7C4)
+        for _ in range(40):
+            depth = rng.randrange(2, 10)
+            capacity = 1 << depth
+            # random pre-population
+            pre = [(rng.randrange(capacity), rng.randrange(1, 100)) for _ in range(rng.randrange(0, 6))]
+            # random update set including clears to EMPTY_LEAF and duplicates
+            updates = [
+                (
+                    rng.randrange(capacity),
+                    EMPTY_LEAF if rng.random() < 0.3 else rng.randrange(1, 1000),
+                )
+                for _ in range(rng.randrange(0, 24))
+            ]
+            sequential, batched = FixedMerkleTree(depth), FixedMerkleTree(depth)
+            for position, value in pre:
+                sequential.set_leaf(position, value)
+                batched.set_leaf(position, value)
+            for position, value in updates:
+                sequential.set_leaf(position, value)
+            batched.set_leaves(updates)
+            assert batched.root == sequential.root
+            assert batched.occupied_count == sequential.occupied_count
+            assert batched._nodes == sequential._nodes
+
+    def test_accepts_mapping(self):
+        a, b = FixedMerkleTree(6), FixedMerkleTree(6)
+        a.set_leaves({3: 7, 9: 8})
+        b.set_leaf(3, 7)
+        b.set_leaf(9, 8)
+        assert a.root == b.root
+
+    def test_later_duplicate_wins(self):
+        a, b = FixedMerkleTree(6), FixedMerkleTree(6)
+        a.set_leaves([(5, 1), (5, 2)])
+        b.set_leaf(5, 2)
+        assert a.root == b.root
+
+    def test_empty_batch_is_noop(self):
+        tree = FixedMerkleTree(6)
+        tree.set_leaf(1, 4)
+        before = tree.root
+        tree.set_leaves([])
+        tree.set_leaves({})
+        assert tree.root == before
+
+    def test_clear_batch_restores_empty_root(self):
+        tree = FixedMerkleTree(6)
+        tree.set_leaves({i: i + 1 for i in range(10)})
+        tree.set_leaves({i: EMPTY_LEAF for i in range(10)})
+        assert tree.root == empty_root(6)
+        assert tree.occupied_count == 0
+        assert tree._nodes == {}
+
+    def test_out_of_range_rejected_before_mutation(self):
+        tree = FixedMerkleTree(3)
+        before = tree.root
+        with pytest.raises(MerkleError):
+            tree.set_leaves([(0, 5), (8, 1)])
+        assert tree.root == before
+        assert not tree.is_occupied(0)
+
+    def test_proofs_valid_after_batch(self):
+        tree = FixedMerkleTree(8)
+        tree.set_leaves({i * 17 % 256: i + 1 for i in range(40)})
+        for position in (0, 17, 34):
+            assert tree.prove(position).verify(tree.root)

@@ -1,7 +1,17 @@
 """Unit tests for the MiMC permutation and hash (repro.crypto.mimc)."""
 
+import random
+
+import pytest
+
 from repro.crypto import mimc
 from repro.crypto.field import MODULUS
+from repro.snark.circuit import CircuitBuilder
+from repro.snark.gadgets.mimc import (
+    mimc_compress_gadget,
+    mimc_hash_gadget,
+    mimc_permutation_gadget,
+)
 
 
 class TestRoundConstants:
@@ -62,6 +72,27 @@ class TestHash:
         assert mimc.mimc_hash([]) != mimc.mimc_hash([0])
         assert mimc.mimc_hash([0]) != mimc.mimc_hash([0, 0])
 
+    def test_empty_is_compression_of_zero_length_tag(self):
+        # the documented definition: the initial chaining value IS the hash
+        assert mimc.mimc_hash([]) == mimc.mimc_compress(0, 0)
+
+    def test_domain_separation_across_lengths(self):
+        # same prefix, different lengths: the length tag separates domains
+        rng = random.Random(2020)
+        prefix = [rng.randrange(MODULUS) for _ in range(4)]
+        digests = {mimc.mimc_hash(prefix[:n]) for n in range(5)}
+        assert len(digests) == 5
+
+    def test_length_extension_distinctness(self):
+        # extending a sequence never reproduces the shorter hash, and feeding
+        # the shorter hash back in as an element does not either
+        rng = random.Random(2021)
+        xs = [rng.randrange(MODULUS) for _ in range(3)]
+        h = mimc.mimc_hash(xs)
+        assert mimc.mimc_hash(xs + [0]) != h
+        assert mimc.mimc_hash(xs + [h]) != h
+        assert mimc.mimc_hash([h]) != mimc.mimc_hash(xs + [h])
+
     def test_order_matters(self):
         assert mimc.mimc_hash([1, 2]) != mimc.mimc_hash([2, 1])
 
@@ -71,3 +102,109 @@ class TestHash:
 
     def test_hash_bytes_distinct(self):
         assert mimc.mimc_hash_bytes(b"a") != mimc.mimc_hash_bytes(b"b")
+
+
+class TestCompiledPermutation:
+    """The exec-compiled unrolled permutation must match the specification."""
+
+    def test_matches_reference_loop(self):
+        # re-derive the (pre-compilation) reference implementation
+        def reference(x: int, k: int) -> int:
+            r, k = x % MODULUS, k % MODULUS
+            for c in mimc.ROUND_CONSTANTS:
+                r = pow((r + k + c) % MODULUS, 5, MODULUS)
+            return (r + k) % MODULUS
+
+        rng = random.Random(0x5EED)
+        for _ in range(10):
+            x, k = rng.randrange(MODULUS), rng.randrange(MODULUS)
+            assert mimc.mimc_permutation(x, k) == reference(x, k)
+
+    def test_compile_is_deterministic(self):
+        recompiled = mimc._compile_permutation(mimc.ROUND_CONSTANTS, MODULUS)
+        assert recompiled(3, 4) == mimc._permutation_compiled(3, 4)
+
+
+class TestStatsAccounting:
+    def test_compress_counts_calls_and_cache(self):
+        mimc.clear_cache()
+        mimc.reset_stats()
+        mimc.mimc_compress(123456, 654321)
+        mimc.mimc_compress(123456, 654321)  # cache hit
+        s = mimc.stats()
+        assert s["compressions"] == 2
+        assert s["cache_misses"] == 1
+        assert s["cache_hits"] == 1
+        assert s["permutations"] == 1  # only the miss ran the permutation
+
+    def test_permutation_counted(self):
+        mimc.reset_stats()
+        mimc.mimc_permutation(1, 2)
+        assert mimc.stats()["permutations"] == 1
+
+    def test_reset_stats(self):
+        mimc.mimc_compress(9, 9)
+        mimc.reset_stats()
+        assert mimc.stats() == {
+            "compressions": 0,
+            "permutations": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+        }
+
+
+class TestCompressCache:
+    def test_cached_result_is_correct(self):
+        mimc.clear_cache()
+        first = mimc.mimc_compress(11, 22)
+        assert mimc.mimc_compress(11, 22) == first
+
+    def test_cache_keys_are_canonical(self):
+        mimc.clear_cache()
+        a = mimc.mimc_compress(MODULUS + 1, 2)
+        size = mimc.cache_size()
+        assert mimc.mimc_compress(1, MODULUS + 2) == a
+        assert mimc.cache_size() == size  # same canonical key, no new entry
+
+    def test_clear_cache(self):
+        mimc.mimc_compress(5, 6)
+        mimc.clear_cache()
+        assert mimc.cache_size() == 0
+
+    def test_cache_is_bounded(self, monkeypatch):
+        monkeypatch.setattr(mimc, "CACHE_MAX_ENTRIES", 4)
+        mimc.clear_cache()
+        for i in range(10):
+            mimc.mimc_compress(i, i)
+        assert mimc.cache_size() <= 4
+        # evicted entries recompute correctly
+        assert mimc.mimc_compress(0, 0) == mimc.mimc_compress(0, 0)
+
+
+class TestGadgetNativeParity:
+    """Acceptance: the compiled fast path is constraint-for-constraint
+    faithful to the R1CS gadget on randomized inputs."""
+
+    def test_permutation_parity_randomized(self):
+        rng = random.Random(0xA11CE)
+        for _ in range(12):
+            x, k = rng.randrange(MODULUS), rng.randrange(MODULUS)
+            b = CircuitBuilder()
+            out = mimc_permutation_gadget(b, b.alloc(x), b.alloc(k))
+            assert out.value == mimc.mimc_permutation(x, k)
+
+    def test_compress_parity_randomized(self):
+        rng = random.Random(0xB0B)
+        for _ in range(8):
+            left, right = rng.randrange(MODULUS), rng.randrange(MODULUS)
+            b = CircuitBuilder()
+            out = mimc_compress_gadget(b, b.alloc(left), b.alloc(right))
+            assert out.value == mimc.mimc_compress(left, right)
+
+    @pytest.mark.parametrize("length", [0, 1, 3])
+    def test_hash_parity_randomized(self, length):
+        rng = random.Random(1000 + length)
+        values = [rng.randrange(MODULUS) for _ in range(length)]
+        b = CircuitBuilder()
+        out = mimc_hash_gadget(b, [b.alloc(v) for v in values])
+        assert out.value == mimc.mimc_hash(values)

@@ -11,29 +11,43 @@ gross regression:
   sequential one;
 * any batched root diverging from its sequential reference.
 
-Intended as a cheap CI gate for the MiMC/Merkle performance layer (see
-docs/PERFORMANCE.md).
+It also runs an epoch-proving workload (serial vs process-pool
+``EpochProver``) recorded to ``BENCH_pr2.json``, gating on serial/parallel
+proof-count and public-input parity plus a wall-time bound (strict ≥2x
+speedup at 64 transactions / 4 workers on machines with 4+ cores; on
+smaller machines the pool clamps toward serial and the gate is a no-slower
+tolerance instead).
+
+Intended as a cheap CI gate for the MiMC/Merkle and prover performance
+layers (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
 
 from repro.crypto import mimc
 from repro.crypto.fixed_merkle import FixedMerkleTree
+from repro.crypto.keys import KeyPair
 from repro.latus.mst import MerkleStateTree
-from repro.latus.utxo import Utxo
+from repro.latus.proofs import EpochProver
+from repro.latus.state import LatusState
+from repro.latus.transactions import sign_payment
+from repro.latus.utxo import Utxo, address_to_field, derive_nonce
 
 MERKLE_DEPTH = 16
 MERKLE_LEAVES = 128
 MST_DEPTH = 12
 MST_UTXOS = 512
+EPOCH_STATE_DEPTH = 8
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_pr1.json"
+DEFAULT_OUT_PR2 = Path(__file__).resolve().parent.parent / "BENCH_pr2.json"
 
 
 def _measure(fn):
@@ -122,12 +136,128 @@ def run_mst_workload() -> dict:
     }
 
 
+def _payment_chain(count: int) -> tuple[LatusState, list]:
+    """A fresh state funding ``count`` chained self-payments for one key."""
+    keypair = KeyPair.from_seed("bench-epoch")
+    state = LatusState(EPOCH_STATE_DEPTH)
+    current = Utxo(
+        addr=address_to_field(keypair.address),
+        amount=1000,
+        nonce=derive_nonce(b"benchmint", (0).to_bytes(8, "little")),
+    )
+    state.mst.add(current)
+    txs = []
+    for i in range(count):
+        nxt = Utxo(
+            addr=address_to_field(keypair.address),
+            amount=1000,
+            nonce=derive_nonce(b"benchout", i.to_bytes(8, "little")),
+        )
+        txs.append(sign_payment([(current, keypair)], [nxt]))
+        current = nxt
+    return state, txs
+
+
+def run_epoch_proving_workload() -> dict:
+    """Serial vs process-pool epoch proving over a chain of payments.
+
+    On a 4+ core machine this proves a 64-transaction epoch with 4 workers
+    and expects a real speedup; on smaller machines :class:`ProverPool`
+    clamps to the core count (degrading to in-process proving on 1 core),
+    so the workload shrinks and only a no-slower bound is enforced.
+    """
+    cores = os.cpu_count() or 1
+    wide = cores >= 4
+    tx_count = 64 if wide else 16
+    workers = 4 if wide else 2
+
+    state, txs = _payment_chain(tx_count)
+
+    serial_prover = EpochProver()
+    start = time.perf_counter()
+    serial = serial_prover.prove_epoch(state.copy(), txs)
+    serial_wall = time.perf_counter() - start
+
+    with EpochProver(parallel_workers=workers) as prover:
+        start = time.perf_counter()
+        parallel = prover.prove_epoch(state.copy(), txs)
+        parallel_wall = time.perf_counter() - start
+
+    def _stats(result, wall):
+        s = result.stats
+        return {
+            "wall_s": wall,
+            "base_proofs": s.base_proofs,
+            "merge_proofs": s.merge_proofs,
+            "constraints": s.constraints,
+            "synthesis_seconds": s.synthesis_seconds,
+            "serialization_seconds": s.serialization_seconds,
+            "pool_workers": s.pool_workers,
+            "pool_tasks": s.pool_tasks,
+            "pool_chunks": s.pool_chunks,
+            "pool_occupancy": s.pool_occupancy,
+            "critical_path_depth": s.critical_path_depth,
+        }
+
+    effective_workers = parallel.stats.pool_workers
+    speedup = serial_wall / parallel_wall if parallel_wall else float("inf")
+    return {
+        "workload": (
+            f"epoch of {tx_count} chained payments, serial vs "
+            f"{workers}-worker pool ({cores} cores)"
+        ),
+        "cores": cores,
+        "requested_workers": workers,
+        "effective_workers": effective_workers,
+        "serial": _stats(serial, serial_wall),
+        "parallel": _stats(parallel, parallel_wall),
+        "wall_speedup": speedup,
+        "proof_counts_match": (
+            serial.stats.base_proofs == parallel.stats.base_proofs == tx_count
+            and serial.stats.merge_proofs == parallel.stats.merge_proofs
+        ),
+        "public_inputs_match": (
+            serial.proof.public_input == parallel.proof.public_input
+            and serial.proof.proof.data == parallel.proof.proof.data
+        ),
+    }
+
+
+def epoch_checks(epoch: dict) -> dict:
+    """The BENCH_pr2 gate, conditioned on how parallel the machine is."""
+    checks = {
+        "epoch_proof_counts_match": epoch["proof_counts_match"],
+        "epoch_public_inputs_match": epoch["public_inputs_match"],
+    }
+    if epoch["effective_workers"] >= 4:
+        # acceptance target: >= 2x on a 4+ core machine at 64 txs
+        checks["epoch_speedup_at_least_2x"] = epoch["wall_speedup"] >= 2.0
+    elif epoch["effective_workers"] >= 2:
+        checks["epoch_parallel_no_slower"] = (
+            epoch["parallel"]["wall_s"] <= epoch["serial"]["wall_s"] * 1.10
+        )
+    else:
+        # pool degraded to in-process proving (1 core): only bound overhead
+        checks["epoch_fallback_overhead_bounded"] = (
+            epoch["parallel"]["wall_s"] <= epoch["serial"]["wall_s"] * 1.25
+        )
+    return checks
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="output JSON path")
+    parser.add_argument(
+        "--out-pr2",
+        type=Path,
+        default=DEFAULT_OUT_PR2,
+        help="output JSON path for the epoch-proving workload",
+    )
     args = parser.parse_args(argv)
     if not args.out.parent.is_dir():
         parser.error(f"output directory does not exist: {args.out.parent}")
+    if not args.out_pr2.parent.is_dir():
+        parser.error(f"output directory does not exist: {args.out_pr2.parent}")
 
     merkle = run_merkle_workload()
     mst = run_mst_workload()
@@ -154,6 +284,16 @@ def main(argv: list[str] | None = None) -> int:
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 
+    epoch = run_epoch_proving_workload()
+    pr2_checks = epoch_checks(epoch)
+    pr2_report = {
+        "suite": "parallel epoch proving smoke (PR 2)",
+        "workloads": {"epoch_proving": epoch},
+        "checks": pr2_checks,
+        "ok": all(pr2_checks.values()),
+    }
+    args.out_pr2.write_text(json.dumps(pr2_report, indent=2) + "\n")
+
     for name, result in report["workloads"].items():
         print(
             f"{name}: sequential {result['sequential']['wall_s']:.3f}s "
@@ -165,8 +305,18 @@ def main(argv: list[str] | None = None) -> int:
         )
     for name, passed in checks.items():
         print(f"  check {name}: {'ok' if passed else 'FAIL'}")
-    print(f"wrote {args.out}")
-    return 0 if report["ok"] else 1
+    print(
+        f"epoch_proving: serial {epoch['serial']['wall_s']:.3f}s vs parallel "
+        f"{epoch['parallel']['wall_s']:.3f}s "
+        f"({epoch['effective_workers']} effective workers of "
+        f"{epoch['requested_workers']} requested on {epoch['cores']} cores) — "
+        f"{epoch['wall_speedup']:.2f}x wall, occupancy "
+        f"{epoch['parallel']['pool_occupancy']:.2f}"
+    )
+    for name, passed in pr2_checks.items():
+        print(f"  check {name}: {'ok' if passed else 'FAIL'}")
+    print(f"wrote {args.out} and {args.out_pr2}")
+    return 0 if report["ok"] and pr2_report["ok"] else 1
 
 
 if __name__ == "__main__":

@@ -53,6 +53,7 @@ from repro.latus.transactions import (
 )
 from repro.latus.utxo import Utxo, address_to_field
 from repro.latus.wcert import WCertWitness, WithdrawalCertificateBuilder
+from repro.snark.recursive import CompositionStats
 from repro.mainchain.block import Block as MainchainBlock
 from repro.mainchain.node import MainchainNode
 from repro.mainchain.transaction import CertificateTx
@@ -120,6 +121,7 @@ class LatusNode:
         forger_keys: list[KeyPair] | None = None,
         proving_strategy: str = "per_transaction",
         auto_submit_certificates: bool = True,
+        proving_workers: int | None = None,
     ) -> None:
         self.config = config
         self.params = params
@@ -130,9 +132,12 @@ class LatusNode:
         self.forgers: dict[int, KeyPair] = {
             address_to_field(address_of(k.public)): k for k in keys
         }
-        self.prover = EpochProver(proving_strategy)
+        self.prover = EpochProver(proving_strategy, parallel_workers=proving_workers)
         self.cert_builder = WithdrawalCertificateBuilder(self.ledger_id, self.prover)
         self.auto_submit_certificates = auto_submit_certificates
+        #: Instrumentation of the most recent epoch proof (pool occupancy,
+        #: synthesis/serialization seconds, critical-path depth, ...).
+        self.last_epoch_stats: "CompositionStats | None" = None
 
         #: Every wallet-submitted transaction ever seen (survives rebuilds).
         self.submitted_txs: list[LatusTransaction] = []
@@ -175,6 +180,10 @@ class LatusNode:
     def tip_hash(self) -> bytes:
         """Hash of the sidechain tip (zeros before the first block)."""
         return self.blocks[-1].hash if self.blocks else b"\x00" * 32
+
+    def close(self) -> None:
+        """Release prover-side resources (the proving worker pool, if any)."""
+        self.prover.close()
 
     def add_forger(self, keypair: KeyPair) -> None:
         """Register a stakeholder key this node may forge with.
@@ -456,6 +465,7 @@ class LatusNode:
         delta = MstDelta.from_positions(
             self.params.mst_depth, self.state.mst.touched_positions
         )
+        self.last_epoch_stats = proof_result.stats
         witness = WCertWitness(
             epoch_proof=proof_result.proof,
             start_state_digest=self.epoch.start_state.digest(),
@@ -466,6 +476,7 @@ class LatusNode:
             referenced_mc_hashes=tuple(self.epoch.referenced_mc_hashes),
             mst_delta=delta,
             touched_positions=self.state.mst.touched_positions,
+            epoch_stats=proof_result.stats,
         )
         certificate = self.cert_builder.build(
             epoch_id=epoch_id,

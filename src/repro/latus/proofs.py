@@ -22,6 +22,7 @@ Two proving strategies are provided:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -37,6 +38,7 @@ from repro.latus.utxo import Utxo
 from repro.snark.circuit import CircuitBuilder, Wire
 from repro.snark.gadgets.arith import AMOUNT_BITS, enforce_sum_with_fee
 from repro.snark.gadgets.mimc import mimc_hash_gadget
+from repro.snark.pool import ProverPool
 from repro.snark.recursive import (
     CompositionStats,
     RecursiveComposer,
@@ -190,17 +192,76 @@ class EpochProver:
     :meth:`verify_epoch_proof`.
     """
 
-    def __init__(self, strategy: str = "per_transaction") -> None:
+    def __init__(
+        self,
+        strategy: str = "per_transaction",
+        parallel_workers: int | None = None,
+        chunk_size: int | None = None,
+    ) -> None:
         if strategy not in ("per_transaction", "batched"):
             raise ValueError(f"unknown proving strategy {strategy!r}")
         self.strategy = strategy
+        #: Default worker count for :meth:`prove_epoch`; None = serial.
+        self.parallel_workers = parallel_workers
+        self.chunk_size = chunk_size
         self.composer = RecursiveComposer(LatusTransitionSystem())
         self._batched_composer = RecursiveComposer(BatchedLatusSystem())
+        self._pool: ProverPool | None = None
+
+    # -- pool lifecycle -----------------------------------------------------------
+
+    def _resolve_workers(self, parallel: bool | int | None) -> int | None:
+        """Map a ``prove_epoch(parallel=...)`` argument to a worker count."""
+        if parallel is None:
+            return self.parallel_workers
+        if parallel is False:
+            return None
+        if parallel is True:
+            return os.cpu_count() or 1
+        return int(parallel)
+
+    def _ensure_pool(self, workers: int) -> ProverPool:
+        """The persistent pool, rebuilt only when the worker count changes."""
+        pool = self._pool
+        if pool is not None and pool.stats.requested_workers != max(1, workers):
+            pool.close()
+            pool = None
+        if pool is None:
+            pool = ProverPool(max_workers=workers, chunk_size=self.chunk_size)
+            self.composer.register_keys(pool)
+            self._pool = pool
+        return pool
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was ever started (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "EpochProver":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- proving ------------------------------------------------------------------
 
     def prove_epoch(
-        self, start_state: LatusState, transitions: Sequence[LatusTransaction]
+        self,
+        start_state: LatusState,
+        transitions: Sequence[LatusTransaction],
+        parallel: bool | int | None = None,
     ) -> EpochProofResult:
         """Prove the whole epoch's transition (Fig. 11's final merge).
+
+        ``parallel`` selects the proving pipeline: ``None`` uses the
+        prover's configured ``parallel_workers`` (serial when unset),
+        ``False`` forces the serial path, ``True`` uses one worker per CPU,
+        and an integer requests that many workers.  Parallel and serial
+        paths produce identical root proofs, public inputs and proof counts;
+        only the wall-clock shape (and the pool fields on
+        :class:`CompositionStats`) differ.  The batched strategy is a single
+        base proof, so it always proves serially.
 
         An epoch with no transitions (a pure heartbeat) delegates to
         :meth:`prove_empty_epoch`, which proves the identity transition.
@@ -208,8 +269,10 @@ class EpochProver:
         if not transitions:
             return self.prove_empty_epoch(start_state)
         if self.strategy == "per_transaction":
+            workers = self._resolve_workers(parallel)
+            pool = self._ensure_pool(workers) if workers else None
             proof, final_state, stats = self.composer.prove_sequence(
-                start_state, list(transitions)
+                start_state, list(transitions), pool=pool
             )
         else:
             stats = CompositionStats()

@@ -41,7 +41,7 @@ from repro.snark import proving
 from repro.snark.circuit import Circuit, CircuitBuilder
 from repro.snark.gadgets.mimc import mimc_hash_gadget
 from repro.snark.proving import ProvingKey, VerifyingKey
-from repro.snark.recursive import TransitionProof
+from repro.snark.recursive import CompositionStats, TransitionProof
 
 
 @dataclass(frozen=True)
@@ -59,6 +59,9 @@ class WCertWitness:
     mst_delta: MstDelta
     #: MST positions actually touched during the epoch (from the state tree).
     touched_positions: frozenset[int]
+    #: Instrumentation of the epoch proof's construction (diagnostics and
+    #: benchmarks only; not part of the proven statement).
+    epoch_stats: CompositionStats | None = None
 
 
 class LatusWCertCircuit(Circuit):

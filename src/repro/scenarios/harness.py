@@ -111,8 +111,14 @@ class ZendooHarness:
         latus_params: LatusParams | None = None,
         creator: KeyPair | None = None,
         proving_strategy: str = "per_transaction",
+        proving_workers: int | None = None,
     ) -> SidechainHandle:
-        """Declare a Latus sidechain on the MC and attach an observing node."""
+        """Declare a Latus sidechain on the MC and attach an observing node.
+
+        ``proving_workers`` opts the node's epoch prover into the parallel
+        pipeline (see :class:`repro.snark.pool.ProverPool`); the default
+        ``None`` keeps the serial path.
+        """
         config = latus_sidechain_config(
             seed=seed,
             start_block=self.mc.height + start_in,
@@ -127,6 +133,7 @@ class ZendooHarness:
             mc_node=self.mc,
             creator=creator or KeyPair.from_seed(f"{seed}/creator"),
             proving_strategy=proving_strategy,
+            proving_workers=proving_workers,
         )
         handle = SidechainHandle(config=config, node=node)
         self.sidechains[config.ledger_id] = handle

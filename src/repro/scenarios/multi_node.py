@@ -34,6 +34,7 @@ class MultiNodeDeployment:
         creator: KeyPair,
         stakeholders: list[KeyPair],
         proving_strategy: str = "batched",
+        proving_workers: int | None = None,
     ) -> None:
         self.mc = mc_node
         self.stakeholders = stakeholders
@@ -50,6 +51,7 @@ class MultiNodeDeployment:
                 creator=creator,
                 forger_keys=keys,
                 proving_strategy=proving_strategy,
+                proving_workers=proving_workers,
                 # every node builds certificates (so anchors exist locally);
                 # duplicates are deduplicated by the MC mempool
                 auto_submit_certificates=True,
@@ -94,6 +96,11 @@ class MultiNodeDeployment:
                 f"{name}: h={h} tip={tip.hex()[:8]}" for name, (h, tip, _) in views.items()
             )
             raise ConsensusError(f"nodes diverged: {detail}")
+
+    def close(self) -> None:
+        """Release every node's prover resources (worker pools, if any)."""
+        for node in self.nodes.values():
+            node.close()
 
     def any_node(self) -> LatusNode:
         """A representative node (all are convergent)."""

@@ -5,6 +5,7 @@ see :mod:`repro.snark.proving` and DESIGN.md §4 for the substitution notice.
 """
 
 from repro.snark.circuit import Circuit, CircuitBuilder, Wire
+from repro.snark.pool import PoolStats, ProverPool
 from repro.snark.proving import (
     PROOF_SIZE,
     Proof,
@@ -32,8 +33,10 @@ __all__ = [
     "ConstraintSystem",
     "LinearCombination",
     "PROOF_SIZE",
+    "PoolStats",
     "Proof",
     "ProveResult",
+    "ProverPool",
     "ProvingKey",
     "R1CSStats",
     "RecursiveComposer",

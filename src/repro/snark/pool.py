@@ -1,0 +1,292 @@
+"""Process-pool proving for the recursive composition layer (paper §5.4).
+
+The paper's scalability argument rests on Base proofs being mutually
+independent and on the Merge tree admitting level-wise parallelism
+("provers can work in parallel", §5.4).  :class:`ProverPool` supplies the
+process-level substrate for that claim:
+
+* **Worker-side proving-key cache.**  Proving keys registered before the
+  pool starts are pickled once and shipped to every worker through the
+  executor initializer; workers cache them by ``circuit_id`` so repeated
+  chunks never re-transfer keys.  Keys registered after startup are shipped
+  inline with each chunk (the worker still caches them on first sight).
+* **Chunked submission.**  :meth:`map_prove` groups independent jobs into
+  chunks sized to the worker count, amortizing one IPC round over many
+  syntheses; :meth:`submit_prove` dispatches a single job for the
+  merge-tree scheduler, which needs per-proof completion granularity.
+* **Serial fallback.**  ``max_workers <= 1`` (or an executor that cannot be
+  created, or a payload that cannot be pickled) degrades to in-process
+  proving with identical results — the pool is an accelerator, never a
+  correctness dependency.
+
+Serialization seconds are measured on the submitting side (the pickling of
+job payloads), synthesis seconds on the worker side (the actual
+``prove_with_stats`` wall time); both feed the per-stage instrumentation on
+:class:`~repro.snark.recursive.CompositionStats`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import SnarkError, UnsatisfiedConstraint
+from repro.snark import proving
+from repro.snark.proving import ProveResult, ProvingKey
+
+# -- worker side ---------------------------------------------------------------
+
+#: Per-worker proving-key cache, keyed by circuit_id.  Populated by the
+#: executor initializer and lazily by inline-shipped keys.
+_WORKER_PKS: dict[str, ProvingKey] = {}
+
+
+def _init_worker(pk_blob: bytes) -> None:
+    """Executor initializer: unpickle the registered keys exactly once."""
+    _WORKER_PKS.update(pickle.loads(pk_blob))
+
+
+def _worker_pk(circuit_id: str, inline_pk: ProvingKey | None) -> ProvingKey:
+    pk = _WORKER_PKS.get(circuit_id)
+    if pk is None:
+        if inline_pk is None:
+            raise SnarkError(
+                f"worker has no proving key for circuit '{circuit_id}'"
+            )
+        _WORKER_PKS[circuit_id] = inline_pk
+        pk = inline_pk
+    return pk
+
+
+def _prove_chunk(circuit_id: str, job_blob: bytes) -> list[ProveResult]:
+    """Prove a chunk of ``(public_input, witness)`` jobs in one IPC round."""
+    inline_pk, jobs = pickle.loads(job_blob)
+    pk = _worker_pk(circuit_id, inline_pk)
+    return [proving.prove_with_stats(pk, public, witness) for public, witness in jobs]
+
+
+def _prove_one(circuit_id: str, job_blob: bytes) -> ProveResult:
+    """Prove a single job (merge-tree scheduling granularity)."""
+    inline_pk, public, witness = pickle.loads(job_blob)
+    pk = _worker_pk(circuit_id, inline_pk)
+    return proving.prove_with_stats(pk, public, witness)
+
+
+# -- parent side ---------------------------------------------------------------
+
+
+@dataclass
+class PoolStats:
+    """Cumulative accounting of everything a :class:`ProverPool` dispatched."""
+
+    #: Effective worker count (after CPU clamping); 0 in serial fallback.
+    workers: int = 0
+    #: Worker count originally requested.
+    requested_workers: int = 0
+    #: Individual proving jobs dispatched (chunked or not).
+    tasks: int = 0
+    #: IPC rounds (chunks + single submissions).
+    chunks: int = 0
+    #: Parent-side time spent pickling job payloads.
+    serialization_seconds: float = 0.0
+    #: Worker-side time spent inside ``prove_with_stats``.
+    synthesis_seconds: float = 0.0
+    #: Why the pool (if ever) degraded to serial proving.
+    fallback_reason: str = ""
+
+    def occupancy(self, wall_seconds: float) -> float:
+        """Fraction of worker capacity kept busy over ``wall_seconds``."""
+        if self.workers <= 0 or wall_seconds <= 0:
+            return 0.0
+        return min(1.0, self.synthesis_seconds / (wall_seconds * self.workers))
+
+
+class ProverPool:
+    """A process pool that proves independent statements concurrently.
+
+    ``max_workers=None`` means "one worker per CPU".  By default the
+    requested worker count is clamped to the machine's CPU count; a resolved
+    count of one (or any failure to stand the pool up) selects the serial
+    fallback, which proves in-process with identical results.  Set
+    ``clamp_to_cpus=False`` to force real worker processes regardless of the
+    CPU count (used by the equivalence tests, which must exercise the
+    multiprocess path even on single-core CI machines).
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        chunk_size: int | None = None,
+        clamp_to_cpus: bool = True,
+    ) -> None:
+        cpus = os.cpu_count() or 1
+        requested = cpus if max_workers is None else max(1, int(max_workers))
+        self.workers = min(requested, cpus) if clamp_to_cpus else requested
+        self.chunk_size = chunk_size
+        self.stats = PoolStats(workers=self.workers, requested_workers=requested)
+        self._pks: dict[str, ProvingKey] = {}
+        self._late_pks: dict[str, ProvingKey] = {}
+        self._executor: ProcessPoolExecutor | None = None
+        self._serial = self.workers <= 1
+        if self._serial:
+            self.stats.workers = 0
+            self.stats.fallback_reason = "resolved worker count <= 1"
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def serial(self) -> bool:
+        """True when this pool proves in-process (no worker processes)."""
+        return self._serial
+
+    def register(self, pk: ProvingKey) -> None:
+        """Make ``pk`` available to workers, keyed by its circuit_id.
+
+        Keys registered before the first job ship once per worker via the
+        executor initializer; later registrations ship inline per chunk.
+        """
+        cid = pk.circuit.circuit_id
+        if self._executor is None and not self._serial:
+            self._pks.setdefault(cid, pk)
+        elif cid not in self._pks:
+            self._late_pks.setdefault(cid, pk)
+
+    def _ensure_executor(self) -> ProcessPoolExecutor | None:
+        if self._serial:
+            return None
+        if self._executor is None:
+            try:
+                started = time.perf_counter()
+                blob = pickle.dumps(self._pks, protocol=pickle.HIGHEST_PROTOCOL)
+                self.stats.serialization_seconds += time.perf_counter() - started
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_worker,
+                    initargs=(blob,),
+                )
+            except Exception as exc:  # unpicklable keys, fork failure, ...
+                self._degrade(f"executor start failed: {exc}")
+        return self._executor
+
+    def _degrade(self, reason: str) -> None:
+        """Permanently fall back to serial proving."""
+        self._serial = True
+        self.stats.workers = 0
+        self.stats.fallback_reason = self.stats.fallback_reason or reason
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ProverPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _inline_pk(self, pk: ProvingKey) -> ProvingKey | None:
+        """The key to ship with a payload (None when workers already hold it)."""
+        return None if pk.circuit.circuit_id in self._pks else pk
+
+    def _prove_serial(self, pk: ProvingKey, jobs: Sequence[tuple]) -> list[ProveResult]:
+        results = []
+        for public, witness in jobs:
+            result = proving.prove_with_stats(pk, public, witness)
+            self.stats.tasks += 1
+            self.stats.synthesis_seconds += result.prove_seconds
+            results.append(result)
+        return results
+
+    def map_prove(
+        self, pk: ProvingKey, jobs: Sequence[tuple[Sequence[int], Any]]
+    ) -> list[ProveResult]:
+        """Prove independent ``(public_input, witness)`` jobs, order-preserving.
+
+        Jobs are chunked so each IPC round amortizes over several syntheses;
+        any failure to dispatch falls back to proving the remainder serially.
+        """
+        if not jobs:
+            return []
+        self.register(pk)
+        executor = self._ensure_executor()
+        if executor is None:
+            return self._prove_serial(pk, jobs)
+
+        size = self.chunk_size or max(1, -(-len(jobs) // (self.workers * 4)))
+        chunks = [list(jobs[i : i + size]) for i in range(0, len(jobs), size)]
+        cid = pk.circuit.circuit_id
+        inline = self._inline_pk(pk)
+        try:
+            futures = []
+            for chunk in chunks:
+                started = time.perf_counter()
+                blob = pickle.dumps((inline, chunk), protocol=pickle.HIGHEST_PROTOCOL)
+                self.stats.serialization_seconds += time.perf_counter() - started
+                futures.append(executor.submit(_prove_chunk, cid, blob))
+                self.stats.chunks += 1
+                self.stats.tasks += len(chunk)
+            results: list[ProveResult] = []
+            for future in futures:
+                chunk_results = future.result()
+                for result in chunk_results:
+                    self.stats.synthesis_seconds += result.prove_seconds
+                results.extend(chunk_results)
+            return results
+        except UnsatisfiedConstraint:
+            raise
+        except Exception as exc:
+            self._degrade(f"chunked dispatch failed: {exc}")
+            return self._prove_serial(pk, jobs)
+
+    def submit_prove(
+        self, pk: ProvingKey, public_input: Sequence[int], witness: Any
+    ) -> Future:
+        """Dispatch one job; returns a Future resolving to a ProveResult.
+
+        In serial fallback the job is proven immediately and the returned
+        future is already resolved (so schedulers built on
+        ``concurrent.futures.wait`` work unchanged).
+        """
+        self.register(pk)
+        executor = self._ensure_executor()
+        if executor is not None:
+            cid = pk.circuit.circuit_id
+            try:
+                started = time.perf_counter()
+                blob = pickle.dumps(
+                    (self._inline_pk(pk), tuple(public_input), witness),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                self.stats.serialization_seconds += time.perf_counter() - started
+                future = executor.submit(_prove_one, cid, blob)
+                self.stats.chunks += 1
+                self.stats.tasks += 1
+                return future
+            except Exception as exc:
+                self._degrade(f"single-job dispatch failed: {exc}")
+        future: Future = Future()
+        future._repro_serial = True  # accounted at proving time, not collect
+        try:
+            [result] = self._prove_serial(pk, [(public_input, witness)])
+            future.set_result(result)
+        except Exception as exc:
+            future.set_exception(exc)
+        return future
+
+    def collect(self, future: Future) -> ProveResult:
+        """Resolve a future from :meth:`submit_prove`, updating accounting."""
+        result = future.result()
+        if not getattr(future, "_repro_serial", False):
+            self.stats.synthesis_seconds += result.prove_seconds
+        return result

@@ -34,6 +34,7 @@ a verification key object.  Neither is exercised by the protocol logic.
 from __future__ import annotations
 
 import hashlib
+import hmac
 import time
 from dataclasses import dataclass
 from typing import Any, Sequence
@@ -210,9 +211,10 @@ def expect_valid(vk: VerifyingKey, public_input: Sequence[int], proof: Proof) ->
 
 
 def _constant_time_eq(a: bytes, b: bytes) -> bool:
-    if len(a) != len(b):
-        return False
-    result = 0
-    for x, y in zip(a, b):
-        result |= x ^ y
-    return result == 0
+    """Timing-safe tag comparison, delegated to :func:`hmac.compare_digest`.
+
+    The C implementation is both genuinely constant-time (a Python-level
+    byte loop leaks through interpreter dispatch) and an order of magnitude
+    faster on the 64-byte tags compared here.
+    """
+    return hmac.compare_digest(a, b)

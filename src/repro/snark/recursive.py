@@ -20,13 +20,16 @@ composition *structure*, adjacency discipline, and cost accounting are real.
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, wait
 from dataclasses import dataclass
-from typing import Any, Callable, Generic, Protocol, Sequence, TypeVar
+from typing import Any, Generic, Protocol, Sequence, TypeVar
 
 from repro.errors import SnarkError, StateTransitionError
 from repro.snark import proving
 from repro.snark.circuit import Circuit, CircuitBuilder
-from repro.snark.proving import Proof, ProvingKey, VerifyingKey
+from repro.snark.pool import ProverPool
+from repro.snark.proving import Proof, ProveResult, ProvingKey, VerifyingKey
 from repro.snark.r1cs import R1CSStats
 
 State = TypeVar("State")
@@ -82,17 +85,45 @@ class TransitionProof:
 
 @dataclass
 class CompositionStats:
-    """Aggregate statistics of building one recursive proof."""
+    """Aggregate statistics of building one recursive proof.
+
+    The per-stage fields added for the parallel pipeline are zero on paths
+    that never touch a pool; ``synthesis_seconds``, ``wall_seconds`` and
+    ``critical_path_depth`` are filled by serial and parallel proving alike
+    so the two cost shapes are directly comparable.
+    """
 
     base_proofs: int = 0
     merge_proofs: int = 0
     tree_depth: int = 0
     constraints: int = 0
     native_checks: int = 0
+    #: Total worker/prover-side time spent synthesizing circuits.
+    synthesis_seconds: float = 0.0
+    #: Parent-side time spent pickling payloads for the pool.
+    serialization_seconds: float = 0.0
+    #: End-to-end wall time of the composition (prove_sequence only).
+    wall_seconds: float = 0.0
+    #: Effective pool worker count (0 = serial proving).
+    pool_workers: int = 0
+    #: Proving jobs dispatched to the pool.
+    pool_tasks: int = 0
+    #: IPC rounds the pool performed (chunks + single submissions).
+    pool_chunks: int = 0
+    #: Fraction of pool capacity kept busy: synthesis / (wall * workers).
+    pool_occupancy: float = 0.0
+    #: Sequential proving stages on the longest path: one base + the merges
+    #: above it — the lower bound on parallel latency, in proof stages.
+    critical_path_depth: int = 0
 
     def record(self, stats: R1CSStats) -> None:
         self.constraints += stats.num_constraints
         self.native_checks += stats.num_native_checks
+
+    def record_result(self, result: ProveResult) -> None:
+        """Fold in one proof's R1CS counters and synthesis timing."""
+        self.record(result.stats)
+        self.synthesis_seconds += result.prove_seconds
 
 
 class _BaseCircuit(Circuit, Generic[State, Transition]):
@@ -131,13 +162,36 @@ class _BaseCircuit(Circuit, Generic[State, Transition]):
 
 
 class _MergeCircuit(Circuit):
-    """Merge SNARK circuit: glue two adjacent proofs (Def. 2.5 item 2)."""
+    """Merge SNARK circuit: glue two adjacent proofs (Def. 2.5 item 2).
+
+    Child proofs are verified against explicit ``(base_vk, merge_vk)``
+    references rather than a closure over the owning composer, so proving
+    keys — and everything reachable from them — round-trip through
+    ``pickle`` and can be shipped to pool workers.  The keys are bound after
+    ``Setup`` (key derivation depends only on ``circuit_id`` and the
+    parameter digest, so the bootstrapping order is not circular).
+    """
 
     def __init__(
-        self, system_name: str, verify_child: Callable[[TransitionProof], bool]
+        self,
+        system_name: str,
+        base_vk: VerifyingKey | None = None,
+        merge_vk: VerifyingKey | None = None,
     ) -> None:
-        self._verify_child = verify_child
         self.circuit_id = f"stp/merge/{system_name}"
+        self.base_vk = base_vk
+        self.merge_vk = merge_vk
+
+    def bind_keys(self, base_vk: VerifyingKey, merge_vk: VerifyingKey) -> None:
+        """Attach the child verification keys (post-Setup bootstrap step)."""
+        self.base_vk = base_vk
+        self.merge_vk = merge_vk
+
+    def _verify_child(self, child: TransitionProof) -> bool:
+        vk = self.merge_vk if child.is_merge else self.base_vk
+        if vk is None:
+            raise SnarkError("merge circuit has no child verification keys bound")
+        return proving.verify(vk, child.public_input, child.proof)
 
     def synthesize(
         self,
@@ -171,9 +225,14 @@ class RecursiveComposer(Generic[State, Transition]):
         self._base_pk: ProvingKey
         self._merge_pk: ProvingKey
         self._base_pk, self.base_vk = proving.setup(_BaseCircuit(system))
-        self._merge_pk, self.merge_vk = proving.setup(
-            _MergeCircuit(system.name, self.verify)
-        )
+        merge_circuit = _MergeCircuit(system.name)
+        self._merge_pk, self.merge_vk = proving.setup(merge_circuit)
+        merge_circuit.bind_keys(self.base_vk, self.merge_vk)
+
+    def register_keys(self, pool: ProverPool) -> None:
+        """Register both proving keys with a pool (idempotent)."""
+        pool.register(self._base_pk)
+        pool.register(self._merge_pk)
 
     # -- verification ----------------------------------------------------------
 
@@ -201,7 +260,7 @@ class RecursiveComposer(Generic[State, Transition]):
         )
         if stats is not None:
             stats.base_proofs += 1
-            stats.record(result.stats)
+            stats.record_result(result)
         proof = TransitionProof(
             from_digest=d_from,
             to_digest=d_to,
@@ -225,7 +284,7 @@ class RecursiveComposer(Generic[State, Transition]):
         result = proving.prove_with_stats(self._merge_pk, public, (left, right))
         if stats is not None:
             stats.merge_proofs += 1
-            stats.record(result.stats)
+            stats.record_result(result)
         return TransitionProof(
             from_digest=left.from_digest,
             to_digest=right.to_digest,
@@ -259,21 +318,173 @@ class RecursiveComposer(Generic[State, Transition]):
             stats.tree_depth = max(stats.tree_depth, level[0].depth)
         return level[0]
 
+    # -- parallel proving ---------------------------------------------------------
+
+    def prove_bases_pool(
+        self,
+        state: State,
+        transitions: Sequence[Transition],
+        pool: ProverPool,
+        stats: CompositionStats | None = None,
+    ) -> tuple[list[TransitionProof], State]:
+        """Prove every transition's base proof through a pool.
+
+        The state chain (the inherently sequential part: each digest depends
+        on the previous ``apply``) is computed up front in the parent; the
+        expensive circuit syntheses then dispatch as independent jobs.
+        """
+        jobs: list[tuple[tuple[int, int], Any]] = []
+        digest_pairs: list[tuple[int, int]] = []
+        current = state
+        d_current = self.system.digest(current)
+        for transition in transitions:
+            next_state = self.system.apply(transition, current)
+            d_next = self.system.digest(next_state)
+            jobs.append(((d_current, d_next), (current, transition)))
+            digest_pairs.append((d_current, d_next))
+            current, d_current = next_state, d_next
+        results = pool.map_prove(self._base_pk, jobs)
+        proofs = []
+        for (d_from, d_to), result in zip(digest_pairs, results):
+            if stats is not None:
+                stats.base_proofs += 1
+                stats.record_result(result)
+            proofs.append(
+                TransitionProof(
+                    from_digest=d_from,
+                    to_digest=d_to,
+                    proof=result.proof,
+                    is_merge=False,
+                    span=1,
+                    depth=0,
+                )
+            )
+        return proofs, current
+
+    def merge_all_parallel(
+        self,
+        proofs: Sequence[TransitionProof],
+        pool: ProverPool,
+        stats: CompositionStats | None = None,
+    ) -> TransitionProof:
+        """Level-scheduled parallel version of :meth:`merge_all`.
+
+        Builds the *same* balanced tree as the serial path — identical
+        pairing, odd-tail carries, ``span``/``depth`` accounting and root
+        public input — but dispatches every merge to the pool the moment
+        both of its children are ready, so independent merges (within a
+        level, and across levels once their subtrees complete) prove
+        concurrently.  Latency is bounded by the critical path (tree depth),
+        not the merge count.
+        """
+        if not proofs:
+            raise SnarkError("cannot merge an empty proof list")
+        # deterministic level sizes of the serial tree: pairs merge, an odd
+        # tail carries upward unchanged
+        level_sizes = [len(proofs)]
+        while level_sizes[-1] > 1:
+            level_sizes.append((level_sizes[-1] + 1) // 2)
+        top = len(level_sizes) - 1
+        ready: dict[tuple[int, int], TransitionProof] = {}
+        inflight: dict[Future, tuple[int, int, TransitionProof, TransitionProof]] = {}
+
+        def place(level: int, idx: int, proof: TransitionProof) -> None:
+            # odd-tail carry: the last node of an odd level rises for free
+            while (
+                level < top
+                and level_sizes[level] % 2 == 1
+                and idx == level_sizes[level] - 1
+            ):
+                level += 1
+                idx = level_sizes[level] - 1
+            ready[(level, idx)] = proof
+            if level == top:
+                return
+            left_idx = idx & ~1
+            left = ready.get((level, left_idx))
+            right = ready.get((level, left_idx + 1))
+            if left is None or right is None:
+                return  # sibling still proving; its completion dispatches us
+            if left.to_digest != right.from_digest:
+                raise SnarkError("cannot merge proofs over non-adjacent ranges")
+            future = pool.submit_prove(
+                self._merge_pk, (left.from_digest, right.to_digest), (left, right)
+            )
+            inflight[future] = (level + 1, left_idx // 2, left, right)
+
+        for i, proof in enumerate(proofs):
+            place(0, i, proof)
+        while (top, 0) not in ready:
+            if not inflight:
+                raise SnarkError("merge scheduler stalled with no work in flight")
+            done, _ = wait(list(inflight), return_when=FIRST_COMPLETED)
+            for future in done:
+                level, idx, left, right = inflight.pop(future)
+                result = pool.collect(future)
+                if stats is not None:
+                    stats.merge_proofs += 1
+                    stats.record_result(result)
+                place(
+                    level,
+                    idx,
+                    TransitionProof(
+                        from_digest=left.from_digest,
+                        to_digest=right.to_digest,
+                        proof=result.proof,
+                        is_merge=True,
+                        span=left.span + right.span,
+                        depth=max(left.depth, right.depth) + 1,
+                    ),
+                )
+        root = ready[(top, 0)]
+        if stats is not None:
+            stats.tree_depth = max(stats.tree_depth, root.depth)
+        return root
+
     def prove_sequence(
-        self, state: State, transitions: Sequence[Transition]
+        self,
+        state: State,
+        transitions: Sequence[Transition],
+        pool: ProverPool | None = None,
     ) -> tuple[TransitionProof, State, CompositionStats]:
         """Prove a whole transition sequence, returning the single root proof.
 
         Equivalent to proving every transition with Base and folding the
-        results with :meth:`merge_all`.
+        results with :meth:`merge_all`.  With ``pool`` the base proofs and
+        the merge tree dispatch through :meth:`prove_bases_pool` /
+        :meth:`merge_all_parallel`; the resulting root proof, public input
+        and proof counts are identical to the serial path.
         """
         if not transitions:
             raise SnarkError("cannot prove an empty transition sequence")
+        started = time.perf_counter()
         stats = CompositionStats()
-        proofs: list[TransitionProof] = []
-        current = state
-        for transition in transitions:
-            proof, current = self.prove_base(current, transition, stats)
-            proofs.append(proof)
-        root = self.merge_all(proofs, stats)
+        if pool is not None:
+            self.register_keys(pool)
+            pool_before = (
+                pool.stats.tasks,
+                pool.stats.chunks,
+                pool.stats.serialization_seconds,
+            )
+            proofs, current = self.prove_bases_pool(state, transitions, pool, stats)
+            root = self.merge_all_parallel(proofs, pool, stats)
+            stats.pool_workers = pool.stats.workers
+            stats.pool_tasks = pool.stats.tasks - pool_before[0]
+            stats.pool_chunks = pool.stats.chunks - pool_before[1]
+            stats.serialization_seconds = (
+                pool.stats.serialization_seconds - pool_before[2]
+            )
+        else:
+            proofs = []
+            current = state
+            for transition in transitions:
+                proof, current = self.prove_base(current, transition, stats)
+                proofs.append(proof)
+            root = self.merge_all(proofs, stats)
+        stats.wall_seconds = time.perf_counter() - started
+        stats.critical_path_depth = root.depth + 1
+        if stats.pool_workers and stats.wall_seconds > 0:
+            stats.pool_occupancy = min(
+                1.0, stats.synthesis_seconds / (stats.wall_seconds * stats.pool_workers)
+            )
         return root, current, stats

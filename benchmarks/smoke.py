@@ -18,8 +18,15 @@ speedup at 64 transactions / 4 workers on machines with 4+ cores; on
 smaller machines the pool clamps toward serial and the gate is a no-slower
 tolerance instead).
 
-Intended as a cheap CI gate for the MiMC/Merkle and prover performance
-layers (see docs/PERFORMANCE.md).
+Finally it runs an observability workload (one full harness epoch observed
+by the process-wide metrics registry) recorded to ``BENCH_pr3.json``,
+gating on snapshot consistency: hash-op counters moved, mainchain and
+network layers reported, the ``epoch/prove`` span exists, the JSON and
+Prometheus exporters agree on every series, and disabling the registry
+does not slow the Merkle hot path down.
+
+Intended as a cheap CI gate for the MiMC/Merkle, prover performance and
+observability layers (see docs/PERFORMANCE.md and docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro import observability
 from repro.crypto import mimc
 from repro.crypto.fixed_merkle import FixedMerkleTree
 from repro.crypto.keys import KeyPair
@@ -48,16 +56,34 @@ EPOCH_STATE_DEPTH = 8
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_pr1.json"
 DEFAULT_OUT_PR2 = Path(__file__).resolve().parent.parent / "BENCH_pr2.json"
+DEFAULT_OUT_PR3 = Path(__file__).resolve().parent.parent / "BENCH_pr3.json"
+
+_MIMC_COUNTERS = {
+    "compressions": "repro_mimc_compressions_total",
+    "permutations": "repro_mimc_permutations_total",
+    "cache_hits": "repro_mimc_cache_hits_total",
+    "cache_misses": "repro_mimc_cache_misses_total",
+}
+
+
+def _mimc_counts() -> dict:
+    """The hash-op counters straight from the metrics registry."""
+    registry = observability.registry()
+    return {
+        key: int(registry.counter(name).value())
+        for key, name in _MIMC_COUNTERS.items()
+    }
 
 
 def _measure(fn):
-    """Run ``fn`` from a cold cache with zeroed counters; time and count it."""
+    """Run ``fn`` from a cold cache; time it and diff the hash-op counters."""
     mimc.clear_cache()
-    mimc.reset_stats()
+    before = _mimc_counts()
     start = time.perf_counter()
     result = fn()
     elapsed = time.perf_counter() - start
-    return result, elapsed, mimc.stats()
+    after = _mimc_counts()
+    return result, elapsed, {key: after[key] - before[key] for key in before}
 
 
 def distinct_ancestors(positions, depth: int) -> int:
@@ -223,6 +249,79 @@ def run_epoch_proving_workload() -> dict:
     }
 
 
+def run_telemetry_workload() -> dict:
+    """One full harness epoch observed end-to-end by the global registry.
+
+    Also times the batched Merkle workload with the registry enabled vs
+    disabled to bound the cost of the always-on instrumentation.
+    """
+    from repro.scenarios import ZendooHarness
+
+    observability.reset()
+    harness = ZendooHarness()
+    harness.mine(2)
+    sc = harness.create_sidechain("bench-telemetry", epoch_len=5, submit_len=2)
+    user = KeyPair.from_seed("bench-telemetry/user")
+    harness.forward_transfer(sc, user, 100_000)
+    harness.run_epochs(sc, 1)
+
+    registry = observability.registry()
+    export = observability.export
+    flat = export.flatten(registry)
+    # compare both exporters on the same frozen view, before the timing
+    # runs below move the counters again
+    exporters_agree = export.parse_prometheus(export.to_prometheus(registry)) == flat
+    telemetry = harness.telemetry()
+    span_names = {span["name"] for span in telemetry["spans"]}
+
+    def _merkle_wall() -> float:
+        updates = [(i, i + 1) for i in range(MERKLE_LEAVES)]
+        mimc.clear_cache()
+        start = time.perf_counter()
+        FixedMerkleTree(MERKLE_DEPTH).set_leaves(updates)
+        return time.perf_counter() - start
+
+    enabled_wall = _merkle_wall()
+    observability.disable()
+    try:
+        disabled_wall = _merkle_wall()
+    finally:
+        observability.enable()
+
+    return {
+        "workload": "harness epoch under the unified observability layer",
+        "series_count": len(flat),
+        "mimc_compressions": flat.get("repro_mimc_compressions_total", 0),
+        "mainchain_blocks": flat.get("repro_mainchain_blocks_connected_total", 0),
+        "wcerts_accepted": flat.get('repro_cctp_wcert_total{result="accepted"}', 0),
+        "latus_blocks_forged": flat.get("repro_latus_blocks_forged_total", 0),
+        "network_latency_samples": flat.get("repro_network_latency_seconds_count", 0),
+        "span_names": sorted(span_names),
+        "exporters_agree": exporters_agree,
+        "telemetry_serializable": bool(json.dumps(telemetry)),
+        "enabled_merkle_wall_s": enabled_wall,
+        "disabled_merkle_wall_s": disabled_wall,
+    }
+
+
+def telemetry_checks(tele: dict) -> dict:
+    """The BENCH_pr3 gate: the snapshot must be internally consistent."""
+    return {
+        "mimc_compressions_counted": tele["mimc_compressions"] > 0,
+        "mainchain_blocks_counted": tele["mainchain_blocks"] > 0,
+        "wcert_verification_counted": tele["wcerts_accepted"] >= 1,
+        "latus_blocks_counted": tele["latus_blocks_forged"] > 0,
+        "network_latency_sampled": tele["network_latency_samples"] > 0,
+        "epoch_span_present": "epoch/prove" in tele["span_names"],
+        "exporters_agree": tele["exporters_agree"],
+        # disabling metrics must never make the hot path slower; generous
+        # noise tolerance since both runs are sub-second
+        "disabled_mode_no_slower": (
+            tele["disabled_merkle_wall_s"] <= tele["enabled_merkle_wall_s"] * 1.25
+        ),
+    }
+
+
 def epoch_checks(epoch: dict) -> dict:
     """The BENCH_pr2 gate, conditioned on how parallel the machine is."""
     checks = {
@@ -253,11 +352,16 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_OUT_PR2,
         help="output JSON path for the epoch-proving workload",
     )
+    parser.add_argument(
+        "--out-pr3",
+        type=Path,
+        default=DEFAULT_OUT_PR3,
+        help="output JSON path for the observability workload",
+    )
     args = parser.parse_args(argv)
-    if not args.out.parent.is_dir():
-        parser.error(f"output directory does not exist: {args.out.parent}")
-    if not args.out_pr2.parent.is_dir():
-        parser.error(f"output directory does not exist: {args.out_pr2.parent}")
+    for out in (args.out, args.out_pr2, args.out_pr3):
+        if not out.parent.is_dir():
+            parser.error(f"output directory does not exist: {out.parent}")
 
     merkle = run_merkle_workload()
     mst = run_mst_workload()
@@ -294,6 +398,16 @@ def main(argv: list[str] | None = None) -> int:
     }
     args.out_pr2.write_text(json.dumps(pr2_report, indent=2) + "\n")
 
+    tele = run_telemetry_workload()
+    pr3_checks = telemetry_checks(tele)
+    pr3_report = {
+        "suite": "unified observability smoke (PR 3)",
+        "workloads": {"telemetry": tele},
+        "checks": pr3_checks,
+        "ok": all(pr3_checks.values()),
+    }
+    args.out_pr3.write_text(json.dumps(pr3_report, indent=2) + "\n")
+
     for name, result in report["workloads"].items():
         print(
             f"{name}: sequential {result['sequential']['wall_s']:.3f}s "
@@ -315,8 +429,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     for name, passed in pr2_checks.items():
         print(f"  check {name}: {'ok' if passed else 'FAIL'}")
-    print(f"wrote {args.out} and {args.out_pr2}")
-    return 0 if report["ok"] and pr2_report["ok"] else 1
+    print(
+        f"telemetry: {tele['series_count']} series after one harness epoch "
+        f"({int(tele['mimc_compressions'])} compressions, "
+        f"{int(tele['network_latency_samples'])} latency samples); enabled "
+        f"{tele['enabled_merkle_wall_s']:.3f}s vs disabled "
+        f"{tele['disabled_merkle_wall_s']:.3f}s merkle wall"
+    )
+    for name, passed in pr3_checks.items():
+        print(f"  check {name}: {'ok' if passed else 'FAIL'}")
+    print(f"wrote {args.out}, {args.out_pr2} and {args.out_pr3}")
+    return 0 if report["ok"] and pr2_report["ok"] and pr3_report["ok"] else 1
 
 
 if __name__ == "__main__":

@@ -23,7 +23,18 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from repro import core, crypto, federated, latus, mainchain, network, scenarios, snark, wire
+from repro import (
+    core,
+    crypto,
+    federated,
+    latus,
+    mainchain,
+    network,
+    observability,
+    scenarios,
+    snark,
+    wire,
+)
 from repro.errors import ZendooError
 
 __all__ = [
@@ -35,6 +46,7 @@ __all__ = [
     "latus",
     "mainchain",
     "network",
+    "observability",
     "scenarios",
     "snark",
     "wire",

@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli quickstart
     python -m repro.cli lifecycle --epochs 4 --fund 500000
     python -m repro.cli inspect --epochs 2
+    python -m repro.cli metrics --epochs 1 --format table
 """
 
 from __future__ import annotations
@@ -13,6 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import observability
 from repro.crypto.keys import KeyPair
 from repro.scenarios import ZendooHarness
 
@@ -66,8 +68,45 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a lifecycle-style scenario and dump the observability snapshot."""
+    observability.reset()
+    harness = ZendooHarness()
+    harness.mine(2)
+    sc = harness.create_sidechain(
+        args.seed, epoch_len=args.epoch_len, submit_len=args.submit_len
+    )
+    user = KeyPair.from_seed(f"{args.seed}/user")
+    harness.forward_transfer(sc, user, args.fund)
+    harness.run_epochs(sc, args.epochs)
+    registry = observability.registry()
+    if args.format == "json":
+        import json
+
+        print(json.dumps(harness.telemetry(), indent=2))
+    elif args.format == "prometheus":
+        sys.stdout.write(observability.export.to_prometheus(registry))
+    else:
+        sys.stdout.write(observability.export.to_table(registry))
+        spans = observability.tracer().roots
+        if spans:
+            print("\nspans:")
+            _print_span_tree(spans, indent=1)
+    return 0
+
+
+def _print_span_tree(spans, indent: int) -> None:
+    for span in spans:
+        pad = "  " * indent
+        print(
+            f"{pad}{span.name}  wall={span.wall_seconds:.4f}s "
+            f"cpu={span.cpu_seconds:.4f}s"
+        )
+        _print_span_tree(span.children, indent + 1)
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
-    print("available commands: list, quickstart, lifecycle, inspect")
+    print("available commands: list, quickstart, lifecycle, inspect, metrics")
     print("examples directory: quickstart.py, multi_sidechain_platform.py,")
     print("  payment_network.py, ceased_sidechain_recovery.py,")
     print("  certificate_latency_study.py, federated_sidechain.py,")
@@ -101,6 +140,22 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--seed", default="cli-inspect")
     inspect.add_argument("--epochs", type=int, default=1)
     inspect.set_defaults(func=_cmd_inspect)
+
+    metrics = sub.add_parser(
+        "metrics", help="run a scenario and print the observability snapshot"
+    )
+    metrics.add_argument("--seed", default="cli-metrics")
+    metrics.add_argument("--epochs", type=int, default=1)
+    metrics.add_argument("--epoch-len", type=int, default=5, dest="epoch_len")
+    metrics.add_argument("--submit-len", type=int, default=2, dest="submit_len")
+    metrics.add_argument("--fund", type=int, default=100_000)
+    metrics.add_argument(
+        "--format",
+        choices=("table", "json", "prometheus"),
+        default="table",
+        help="output format (default: human table + span tree)",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
     return parser
 
 

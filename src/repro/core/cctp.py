@@ -37,12 +37,36 @@ from repro.errors import (
     CertificateRejected,
     CctpError,
     NullifierReused,
+    SafeguardViolation,
     SidechainActive,
     SidechainAlreadyExists,
     SidechainCeased,
     UnknownSidechain,
 )
 from repro.snark import proving
+from repro import observability
+
+_REGISTRY = observability.registry()
+_WCERT_VERIFICATIONS = _REGISTRY.counter(
+    "repro_cctp_wcert_total",
+    "withdrawal-certificate verifications, by result (includes template "
+    "pre-connection trials)",
+    labelnames=("result",),
+)
+_BTR_VERIFICATIONS = _REGISTRY.counter(
+    "repro_cctp_btr_total",
+    "backward-transfer-request verifications, by result",
+    labelnames=("result",),
+)
+_CSW_VERIFICATIONS = _REGISTRY.counter(
+    "repro_cctp_csw_total",
+    "ceased-sidechain-withdrawal verifications, by result",
+    labelnames=("result",),
+)
+_SAFEGUARD_REJECTIONS = _REGISTRY.counter(
+    "repro_cctp_safeguard_rejections_total",
+    "operations rejected because they would overdraw the withdrawal safeguard",
+).labels()
 
 
 class SidechainStatus(enum.Enum):
@@ -181,8 +205,32 @@ class CctpState:
         of the same epoch when the new one replaces it (the host chain then
         cancels the superseded payouts), else None.
 
-        Raises :class:`CertificateRejected` on any rule violation.
+        Raises :class:`CertificateRejected` on any rule violation.  Every
+        verification is counted on ``repro_cctp_wcert_total{result}``;
+        safeguard overdraw attempts additionally count on
+        ``repro_cctp_safeguard_rejections_total``.
         """
+        try:
+            superseded = self._process_certificate(
+                wcert, height, included_in_block, block_hash_at
+            )
+        except SafeguardViolation:
+            _SAFEGUARD_REJECTIONS.inc()
+            _WCERT_VERIFICATIONS.labels(result="rejected").inc()
+            raise
+        except CctpError:
+            _WCERT_VERIFICATIONS.labels(result="rejected").inc()
+            raise
+        _WCERT_VERIFICATIONS.labels(result="accepted").inc()
+        return superseded
+
+    def _process_certificate(
+        self,
+        wcert: WithdrawalCertificate,
+        height: int,
+        included_in_block: bytes,
+        block_hash_at: Callable[[int], bytes],
+    ) -> WithdrawalCertificate | None:
         entry = self.entry(wcert.ledger_id)
         schedule = entry.config.schedule
 
@@ -275,7 +323,18 @@ class CctpState:
     # -- mainchain-managed withdrawals ---------------------------------------------
 
     def process_btr(self, btr: BackwardTransferRequest, height: int) -> None:
-        """Pre-validate a BTR (§4.1.2.1); no coins move on the mainchain."""
+        """Pre-validate a BTR (§4.1.2.1); no coins move on the mainchain.
+
+        Verifications are counted on ``repro_cctp_btr_total{result}``.
+        """
+        try:
+            self._process_btr(btr, height)
+        except Exception:
+            _BTR_VERIFICATIONS.labels(result="rejected").inc()
+            raise
+        _BTR_VERIFICATIONS.labels(result="accepted").inc()
+
+    def _process_btr(self, btr: BackwardTransferRequest, height: int) -> None:
         entry = self.entry(btr.ledger_id)
         if entry.status is SidechainStatus.CEASED:
             raise SidechainCeased("BTR for a ceased sidechain")
@@ -296,7 +355,27 @@ class CctpState:
     def process_csw(
         self, csw: CeasedSidechainWithdrawal, height: int
     ) -> tuple[bytes, int]:
-        """Validate a CSW; returns ``(receiver, amount)`` for direct payout."""
+        """Validate a CSW; returns ``(receiver, amount)`` for direct payout.
+
+        Verifications are counted on ``repro_cctp_csw_total{result}``;
+        safeguard overdraw attempts additionally count on
+        ``repro_cctp_safeguard_rejections_total``.
+        """
+        try:
+            payout = self._process_csw(csw, height)
+        except SafeguardViolation:
+            _SAFEGUARD_REJECTIONS.inc()
+            _CSW_VERIFICATIONS.labels(result="rejected").inc()
+            raise
+        except Exception:
+            _CSW_VERIFICATIONS.labels(result="rejected").inc()
+            raise
+        _CSW_VERIFICATIONS.labels(result="accepted").inc()
+        return payout
+
+    def _process_csw(
+        self, csw: CeasedSidechainWithdrawal, height: int
+    ) -> tuple[bytes, int]:
         entry = self.entry(csw.ledger_id)
         if entry.status is not SidechainStatus.CEASED:
             raise SidechainActive("CSW is only valid for a ceased sidechain")

@@ -133,6 +133,36 @@ class NullifierReused(CctpError):
 
 
 # ---------------------------------------------------------------------------
+# Network simulator
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(ZendooError):
+    """Base class for network-simulator failures."""
+
+
+class UnknownNetworkNode(NetworkError, KeyError):
+    """A message was addressed to a node never registered with the simulator.
+
+    Also derives from :class:`KeyError` for backward compatibility with
+    callers that caught the untyped lookup error raised before this class
+    existed.
+    """
+
+    def __str__(self) -> str:  # KeyError repr()s its args; we want a message
+        return Exception.__str__(self)
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+
+class ObservabilityError(ZendooError):
+    """A metrics-registry or tracing API was misused (bad labels, type clash)."""
+
+
+# ---------------------------------------------------------------------------
 # Latus sidechain
 # ---------------------------------------------------------------------------
 

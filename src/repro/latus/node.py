@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import observability
 from repro.core.bootstrap import SidechainConfig
 from repro.core.transfers import WithdrawalCertificate
 from repro.crypto.keys import KeyPair, address_of
@@ -57,6 +58,20 @@ from repro.snark.recursive import CompositionStats
 from repro.mainchain.block import Block as MainchainBlock
 from repro.mainchain.node import MainchainNode
 from repro.mainchain.transaction import CertificateTx
+
+_REGISTRY = observability.registry()
+_BLOCKS_FORGED = _REGISTRY.counter(
+    "repro_latus_blocks_forged_total",
+    "sidechain blocks forged locally",
+).labels()
+_BLOCKS_RECEIVED = _REGISTRY.counter(
+    "repro_latus_blocks_received_total",
+    "foreign sidechain blocks validated and applied",
+).labels()
+_CERTIFICATES_BUILT = _REGISTRY.counter(
+    "repro_latus_certificates_built_total",
+    "withdrawal certificates built at epoch close",
+).labels()
 
 
 @dataclass
@@ -430,6 +445,7 @@ class LatusNode:
             state_digest=working.digest(),
         )
         self.blocks.append(block)
+        _BLOCKS_FORGED.inc()
         self.included_txids.update(tx.txid for tx in included)
         self.last_referenced_mc_height = mc_batch[-1].height
         self.epoch.transitions.extend(block.ordered_transitions())
@@ -485,6 +501,7 @@ class LatusNode:
             h_epoch_last=self._epoch_boundary_hash(epoch_id),
         )
         self.certificates.append(certificate)
+        _CERTIFICATES_BUILT.inc()
         self.last_wcert_witness = witness
         self.anchors[epoch_id] = CertificateAnchor(
             certificate=certificate,
@@ -573,6 +590,7 @@ class LatusNode:
             raise ConsensusError("state digest mismatch")
 
         self.blocks.append(block)
+        _BLOCKS_RECEIVED.inc()
         self.included_txids.update(tx.txid for tx in block.transactions)
         if block.mc_refs:
             self.last_referenced_mc_height = block.mc_refs[-1].mc_height

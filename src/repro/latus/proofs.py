@@ -26,6 +26,7 @@ import os
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import observability
 from repro.latus.state import LatusState
 from repro.latus.transactions import (
     BackwardTransferRequestsTx,
@@ -43,6 +44,13 @@ from repro.snark.recursive import (
     CompositionStats,
     RecursiveComposer,
     TransitionProof,
+)
+
+_TRACER = observability.tracer()
+_EPOCHS_PROVED = observability.registry().counter(
+    "repro_latus_epochs_proved_total",
+    "withdrawal-epoch state-transition proofs built",
+    labelnames=("strategy",),
 )
 
 
@@ -268,17 +276,21 @@ class EpochProver:
         """
         if not transitions:
             return self.prove_empty_epoch(start_state)
-        if self.strategy == "per_transaction":
-            workers = self._resolve_workers(parallel)
-            pool = self._ensure_pool(workers) if workers else None
-            proof, final_state, stats = self.composer.prove_sequence(
-                start_state, list(transitions), pool=pool
-            )
-        else:
-            stats = CompositionStats()
-            proof, final_state = self._batched_composer.prove_base(
-                start_state, _BatchedTransition(tuple(transitions)), stats
-            )
+        with _TRACER.span(
+            "epoch/prove", strategy=self.strategy, transitions=len(transitions)
+        ):
+            if self.strategy == "per_transaction":
+                workers = self._resolve_workers(parallel)
+                pool = self._ensure_pool(workers) if workers else None
+                proof, final_state, stats = self.composer.prove_sequence(
+                    start_state, list(transitions), pool=pool
+                )
+            else:
+                stats = CompositionStats()
+                proof, final_state = self._batched_composer.prove_base(
+                    start_state, _BatchedTransition(tuple(transitions)), stats
+                )
+        _EPOCHS_PROVED.labels(strategy=self.strategy).inc()
         return EpochProofResult(proof=proof, final_state=final_state, stats=stats)
 
     def prove_empty_epoch(self, start_state: LatusState) -> EpochProofResult:
@@ -290,9 +302,11 @@ class EpochProver:
         marker transaction.
         """
         stats = CompositionStats()
-        proof, final_state = self._batched_composer.prove_base(
-            start_state, _BatchedTransition(()), stats
-        )
+        with _TRACER.span("epoch/prove", strategy="heartbeat", transitions=0):
+            proof, final_state = self._batched_composer.prove_base(
+                start_state, _BatchedTransition(()), stats
+            )
+        _EPOCHS_PROVED.labels(strategy="heartbeat").inc()
         return EpochProofResult(proof=proof, final_state=final_state, stats=stats)
 
     def verify_epoch_proof(self, proof: TransitionProof) -> bool:

@@ -37,6 +37,32 @@ from repro.mainchain.transaction import (
 )
 from repro.mainchain.utxo import Coin, Outpoint, TxOutput, UTXOSet
 from repro.mainchain.validation import validate_block_structure
+from repro import observability
+
+_REGISTRY = observability.registry()
+_BLOCKS_CONNECTED = _REGISTRY.counter(
+    "repro_mainchain_blocks_connected_total",
+    "blocks connected to a validated mainchain state",
+).labels()
+_TXS_CONNECTED = _REGISTRY.counter(
+    "repro_mainchain_txs_connected_total",
+    "non-coinbase transactions connected inside blocks, by type",
+    labelnames=("type",),
+)
+
+
+def _tx_type_label(tx) -> str:
+    if isinstance(tx, CoinTransaction):
+        return "coin"
+    if isinstance(tx, SidechainDeclarationTx):
+        return "sc_declaration"
+    if isinstance(tx, CertificateTx):
+        return "certificate"
+    if isinstance(tx, BtrTx):
+        return "btr"
+    if isinstance(tx, CswTx):
+        return "csw"
+    return "other"
 
 
 @dataclass(frozen=True)
@@ -103,10 +129,12 @@ class MainchainState:
         coinbase = block.transactions[0]
         for tx in block.transactions[1:]:
             fees += self._connect_transaction(tx, block)
+            _TXS_CONNECTED.labels(type=_tx_type_label(tx)).inc()
         self._connect_coinbase(coinbase, fees, height)
 
         self.height = height
         self.block_hashes.append(block.hash)
+        _BLOCKS_CONNECTED.inc()
 
     def _mature_payouts(self, height: int) -> None:
         for cert_id in list(self.pending_payouts):

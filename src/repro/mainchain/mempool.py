@@ -7,8 +7,23 @@ transactions that made it into a connected block.
 
 from __future__ import annotations
 
+from repro import observability
 from repro.errors import ValidationError
 from repro.mainchain.transaction import Transaction
+
+_REGISTRY = observability.registry()
+_SUBMITTED = _REGISTRY.counter(
+    "repro_mainchain_mempool_submitted_total",
+    "transactions accepted into a mempool",
+).labels()
+_REJECTED = _REGISTRY.counter(
+    "repro_mainchain_mempool_rejected_total",
+    "mempool submissions rejected (duplicate txid)",
+).labels()
+_SIZE = _REGISTRY.gauge(
+    "repro_mainchain_mempool_size",
+    "pending transactions in the most recently mutated mempool",
+).labels()
 
 
 class Mempool:
@@ -26,8 +41,11 @@ class Mempool:
     def submit(self, tx: Transaction) -> None:
         """Queue a transaction; duplicates are rejected."""
         if tx.txid in self._txs:
+            _REJECTED.inc()
             raise ValidationError("transaction already in the mempool")
         self._txs[tx.txid] = tx
+        _SUBMITTED.inc()
+        _SIZE.set(len(self._txs))
 
     def take(self, limit: int) -> list[Transaction]:
         """The first ``limit`` pending transactions (not removed)."""
@@ -41,6 +59,7 @@ class Mempool:
     def remove(self, txid: bytes) -> None:
         """Drop a transaction if present."""
         self._txs.pop(txid, None)
+        _SIZE.set(len(self._txs))
 
     def remove_confirmed(self, txs) -> None:
         """Drop every transaction that appears in ``txs``."""
@@ -50,3 +69,4 @@ class Mempool:
     def clear(self) -> None:
         """Drop everything."""
         self._txs.clear()
+        _SIZE.set(0)

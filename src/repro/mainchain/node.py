@@ -10,6 +10,7 @@ work.
 
 from __future__ import annotations
 
+from repro import observability
 from repro.errors import ValidationError, ZendooError
 from repro.mainchain.block import Block, BlockHeader, transactions_merkle_root
 from repro.mainchain.chain import Blockchain, MainchainState
@@ -18,6 +19,11 @@ from repro.mainchain.params import MainchainParams
 from repro.mainchain.pow import mine_header
 from repro.mainchain.transaction import Transaction, make_coinbase
 from repro.mainchain.validation import compute_sc_txs_commitment
+
+_TEMPLATE_DROPS = observability.registry().counter(
+    "repro_mainchain_template_drops_total",
+    "mempool transactions dropped during block-template pre-connection",
+).labels()
 
 
 class MainchainNode:
@@ -102,6 +108,7 @@ class MainchainNode:
                 selected.append(tx)
             except ZendooError:
                 self.mempool.remove(tx.txid)
+                _TEMPLATE_DROPS.inc()
         return selected, fees
 
     # -- receiving blocks from peers ---------------------------------------------------

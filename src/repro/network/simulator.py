@@ -4,6 +4,14 @@ Used by liveness-style experiments (certificate submission windows, ceasing
 under delay — bench Q4): messages between nodes are delivered after
 per-link latencies, and the simulation clock advances event by event.
 Determinism comes from explicit seeds — no wall-clock, no global RNG.
+
+Traffic is observable on the process-wide metrics registry:
+``repro_network_messages_total{kind}`` counts sends and broadcasts,
+``repro_network_latency_seconds`` is a histogram of sampled link latencies
+(simulated seconds, not wall time), ``repro_network_events_total`` counts
+delivered events and ``repro_network_dropped_total`` counts messages
+addressed to unregistered nodes (which also raise
+:class:`~repro.errors.UnknownNetworkNode`).
 """
 
 from __future__ import annotations
@@ -13,7 +21,30 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro import observability
 from repro.crypto.hashing import hash_bytes
+from repro.errors import UnknownNetworkNode
+
+_REGISTRY = observability.registry()
+_MESSAGES = _REGISTRY.counter(
+    "repro_network_messages_total",
+    "messages scheduled on the network simulator",
+    labelnames=("kind",),
+)
+_MSG_SEND = _MESSAGES.labels(kind="send")
+_MSG_BROADCAST = _MESSAGES.labels(kind="broadcast")
+_DROPPED = _REGISTRY.counter(
+    "repro_network_dropped_total",
+    "messages addressed to unregistered nodes",
+).labels()
+_EVENTS = _REGISTRY.counter(
+    "repro_network_events_total",
+    "events delivered by the simulator loop",
+).labels()
+_LATENCY = _REGISTRY.histogram(
+    "repro_network_latency_seconds",
+    "sampled link latencies in simulated seconds",
+).labels()
 
 
 @dataclass(order=True)
@@ -67,15 +98,25 @@ class NetworkSimulator:
         return list(self._handlers)
 
     def send(self, src: str, dst: str, message: Any) -> float:
-        """Schedule a point-to-point message; returns its delivery time."""
+        """Schedule a point-to-point message; returns its delivery time.
+
+        Raises :class:`~repro.errors.UnknownNetworkNode` (a ``KeyError``
+        subclass, for backward compatibility) if ``dst`` was never
+        registered; the drop is counted on ``repro_network_dropped_total``.
+        """
         if dst not in self._handlers:
-            raise KeyError(f"unknown destination node {dst!r}")
-        at = self.clock + self.latency.sample(src, dst)
+            _DROPPED.inc()
+            raise UnknownNetworkNode(f"unknown destination node {dst!r}")
+        sample = self.latency.sample(src, dst)
+        _MSG_SEND.inc()
+        _LATENCY.observe(sample)
+        at = self.clock + sample
         self.schedule_at(at, lambda: self._handlers[dst](src, message))
         return at
 
     def broadcast(self, src: str, message: Any) -> list[float]:
         """Send to every registered node except the sender."""
+        _MSG_BROADCAST.inc()
         return [
             self.send(src, dst, message) for dst in self._handlers if dst != src
         ]
@@ -98,6 +139,7 @@ class NetworkSimulator:
         self.clock = event.time
         event.deliver()
         self.delivered += 1
+        _EVENTS.inc()
         return True
 
     def run(self, until: float | None = None, max_events: int = 1_000_000) -> int:

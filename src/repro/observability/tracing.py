@@ -1,0 +1,155 @@
+"""Span-based tracing over the metrics registry.
+
+A :class:`Span` is a context manager measuring one named stage of work —
+wall time (``perf_counter``), CPU time (``process_time``) and the *metric
+deltas* the stage caused: every registry counter that moved while the span
+was open is recorded with how far it moved.  Spans nest; entering a span
+while another is open attaches it as a child, so a certified epoch shows up
+as one root ``epoch/prove`` span with ``prove/base`` and
+``prove/merge_level`` children underneath.
+
+Every finished span also feeds the ``repro_span_seconds`` histogram
+(labeled by span name) in the owning registry, which is how span timings
+appear in the Prometheus/JSON exporters next to plain counters.
+
+When the registry is disabled, :meth:`Tracer.span` returns a shared no-op
+span — no allocation, no clock reads — so tracing obeys the same
+zero-overhead-when-off contract as the instruments.
+
+The tracer keeps the most recent finished *root* spans (bounded deque); a
+telemetry snapshot serializes them with :meth:`Span.to_dict`.  Like the
+registry, the tracer is per-process and not thread-safe.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any
+
+from repro.observability.registry import MetricsRegistry
+
+#: How many finished root spans the tracer retains for telemetry snapshots.
+MAX_ROOT_SPANS: int = 256
+
+
+class Span:
+    """One timed, nested stage of work (use as a context manager)."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "children",
+        "wall_seconds",
+        "cpu_seconds",
+        "metric_deltas",
+        "_tracer",
+        "_has_parent",
+        "_start_wall",
+        "_start_cpu",
+        "_counters_before",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.children: list[Span] = []
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+        self.metric_deltas: dict[str, int | float] = {}
+        self._tracer = tracer
+        self._has_parent = False
+        self._start_wall = 0.0
+        self._start_cpu = 0.0
+        self._counters_before: dict[str, int | float] = {}
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self._counters_before = self._tracer.registry.counter_samples()
+        self._start_cpu = time.process_time()
+        self._start_wall = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.wall_seconds = time.perf_counter() - self._start_wall
+        self.cpu_seconds = time.process_time() - self._start_cpu
+        after = self._tracer.registry.counter_samples()
+        before = self._counters_before
+        self.metric_deltas = {
+            key: value - before.get(key, 0)
+            for key, value in after.items()
+            if value != before.get(key, 0)
+        }
+        self._counters_before = {}
+        self._tracer._pop(self)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable span tree (the telemetry/export shape)."""
+        return {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "attrs": dict(self.attrs),
+            "metric_deltas": dict(self.metric_deltas),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out while the registry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Creates spans, tracks the active stack and retains finished roots."""
+
+    def __init__(self, registry: MetricsRegistry, max_roots: int = MAX_ROOT_SPANS) -> None:
+        self.registry = registry
+        self.roots: deque[Span] = deque(maxlen=max_roots)
+        self._stack: list[Span] = []
+        self._span_hist = registry.histogram(
+            "repro_span_seconds",
+            "wall seconds of finished tracer spans",
+            labelnames=("span",),
+        )
+
+    def span(self, name: str, **attrs: Any) -> Span | _NoopSpan:
+        """A new span named ``name``; a shared no-op when tracing is off."""
+        if not self.registry.enabled:
+            return NOOP_SPAN
+        return Span(self, name, attrs)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def reset(self) -> None:
+        """Drop retained roots and any (leaked) open spans."""
+        self.roots.clear()
+        self._stack.clear()
+
+    # -- span lifecycle (called by Span.__enter__/__exit__) ----------------------
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+            span._has_parent = True
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        if not span._has_parent:
+            self.roots.append(span)
+        self._span_hist.labels(span=span.name).observe(span.wall_seconds)

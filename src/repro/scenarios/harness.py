@@ -5,12 +5,21 @@ node, sidechain registration with the correct Latus verification keys,
 funding via forward transfers, withdrawal via BT/BTR/CSW — and provides the
 prover-side helpers that assemble BTR/CSW SNARK witnesses from a node's
 certificate anchors.
+
+Block announcements from the mainchain to sidechain observers route through
+a :class:`~repro.network.simulator.NetworkSimulator` (deterministic,
+seed-driven), so a single harness run also exercises — and therefore
+measures — the network layer; :meth:`ZendooHarness.telemetry` returns the
+unified observability snapshot (registry metrics, tracer spans, per-chain
+summaries) that the CLI ``metrics`` command and ``benchmarks/smoke.py``
+consume.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import observability
 from repro.core.bootstrap import ProofdataSchema, SidechainConfig
 from repro.core.transfers import (
     BackwardTransferRequest,
@@ -34,6 +43,7 @@ from repro.latus.withdrawal_circuits import (
 )
 from repro.mainchain.node import MainchainNode
 from repro.mainchain.params import MainchainParams
+from repro.network.simulator import NetworkSimulator
 from repro.mainchain.transaction import (
     BtrTx,
     CswTx,
@@ -94,11 +104,21 @@ class ZendooHarness:
         self,
         mc_params: MainchainParams | None = None,
         miner_seed: str = "harness-miner",
+        network: NetworkSimulator | None = None,
+        use_network: bool = True,
     ) -> None:
         self.mc = MainchainNode(mc_params or MainchainParams(pow_zero_bits=4, coinbase_maturity=1))
         self.miner = KeyPair.from_seed(miner_seed)
         self.sidechains: dict[bytes, SidechainHandle] = {}
         self._reserved_outpoints: set = set()
+        #: Deterministic simulator carrying MC→SC block announcements (so a
+        #: harness run exercises the network layer's metrics); pass
+        #: ``use_network=False`` to sync sidechain nodes directly instead.
+        self.network: NetworkSimulator | None = (
+            (network or NetworkSimulator()) if use_network else None
+        )
+        if self.network is not None:
+            self.network.register("mc", lambda src, msg: None)
 
     # -- lifecycle -------------------------------------------------------------------
 
@@ -137,16 +157,32 @@ class ZendooHarness:
         )
         handle = SidechainHandle(config=config, node=node)
         self.sidechains[config.ledger_id] = handle
+        if self.network is not None:
+            self.network.register(
+                f"sc-{config.ledger_id.hex()[:8]}",
+                lambda src, msg, _node=node: _node.sync(),
+            )
         return handle
 
     # -- time ------------------------------------------------------------------------
 
     def mine(self, blocks: int = 1) -> None:
-        """Mine MC blocks and let every sidechain node observe them."""
+        """Mine MC blocks and let every sidechain node observe them.
+
+        With the network enabled each new block is announced to the
+        sidechain observers through the simulator (per-link latencies, one
+        delivery event per observer) and the queue is drained; sync order
+        across sidechains is latency-determined but each node's sync is
+        independent, so the resulting states are identical to direct sync.
+        """
         for _ in range(blocks):
-            self.mc.mine_block(self.miner.address)
-            for handle in self.sidechains.values():
-                handle.node.sync()
+            block = self.mc.mine_block(self.miner.address)
+            if self.network is not None and self.sidechains:
+                self.network.broadcast("mc", ("mc-block", block.height))
+                self.network.run()
+            else:
+                for handle in self.sidechains.values():
+                    handle.node.sync()
 
     def mine_until(self, height: int) -> None:
         """Mine until the MC reaches ``height``."""
@@ -317,3 +353,40 @@ class ZendooHarness:
     def submit_csw(self, csw: CeasedSidechainWithdrawal) -> None:
         """Queue a CSW transaction on the mainchain."""
         self.mc.submit_transaction(CswTx(csw=csw))
+
+    # -- observability ---------------------------------------------------------------------
+
+    def telemetry(self) -> dict:
+        """The unified observability snapshot for this deployment.
+
+        One JSON-serializable dict combining the process-wide metrics
+        registry, the tracer's retained span trees, and per-chain summaries
+        (mainchain height/mempool, each sidechain's height, certificate
+        count and the shared-schema ``last_epoch_stats``).  This is the
+        single stats API the CLI ``metrics`` command and the benchmarks
+        read; the legacy surfaces (``mimc.stats()``, ``CompositionStats``)
+        all feed the same registry underneath.
+        """
+        registry = observability.registry()
+        tracer = observability.tracer()
+        return {
+            "enabled": registry.enabled,
+            "metrics": registry.snapshot(),
+            "spans": [span.to_dict() for span in tracer.roots],
+            "mainchain": {
+                "height": self.mc.height,
+                "mempool_size": len(self.mc.mempool),
+            },
+            "sidechains": {
+                handle.ledger_id.hex()[:16]: {
+                    "height": handle.node.height,
+                    "certificates": len(handle.node.certificates),
+                    "last_epoch_stats": (
+                        handle.node.last_epoch_stats.to_dict()
+                        if handle.node.last_epoch_stats is not None
+                        else None
+                    ),
+                }
+                for handle in self.sidechains.values()
+            },
+        }

@@ -15,6 +15,7 @@ the MC block and the state, §5.3).
 
 from __future__ import annotations
 
+from repro import observability
 from repro.core.bootstrap import SidechainConfig
 from repro.crypto.keys import KeyPair
 from repro.errors import ConsensusError
@@ -105,6 +106,37 @@ class MultiNodeDeployment:
     def any_node(self) -> LatusNode:
         """A representative node (all are convergent)."""
         return next(iter(self.nodes.values()))
+
+    def telemetry(self) -> dict:
+        """The unified observability snapshot for this deployment.
+
+        Same shape as :meth:`repro.scenarios.harness.ZendooHarness.telemetry`
+        with one entry per named node (all convergent, but their provers and
+        certificate builders do independent work worth attributing).
+        """
+        registry = observability.registry()
+        tracer = observability.tracer()
+        return {
+            "enabled": registry.enabled,
+            "metrics": registry.snapshot(),
+            "spans": [span.to_dict() for span in tracer.roots],
+            "mainchain": {
+                "height": self.mc.height,
+                "mempool_size": len(self.mc.mempool),
+            },
+            "nodes": {
+                name: {
+                    "height": node.height,
+                    "certificates": len(node.certificates),
+                    "last_epoch_stats": (
+                        node.last_epoch_stats.to_dict()
+                        if node.last_epoch_stats is not None
+                        else None
+                    ),
+                }
+                for name, node in self.nodes.items()
+            },
+        }
 
     def forger_distribution(self) -> dict[str, int]:
         """How many blocks each node forged (by forger address match)."""

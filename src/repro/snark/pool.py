@@ -34,9 +34,28 @@ from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+from repro import observability
 from repro.errors import SnarkError, UnsatisfiedConstraint
 from repro.snark import proving
 from repro.snark.proving import ProveResult, ProvingKey
+
+_REGISTRY = observability.registry()
+_POOL_WORKERS = _REGISTRY.gauge(
+    "repro_pool_workers",
+    "effective worker count of the most recently constructed ProverPool",
+).labels()
+_POOL_TASKS = _REGISTRY.counter(
+    "repro_pool_tasks_total",
+    "individual proving jobs dispatched by ProverPool",
+).labels()
+_POOL_CHUNKS = _REGISTRY.counter(
+    "repro_pool_chunks_total",
+    "IPC rounds (chunks + single submissions) dispatched by ProverPool",
+).labels()
+_POOL_FALLBACKS = _REGISTRY.counter(
+    "repro_pool_fallbacks_total",
+    "times a ProverPool degraded to serial proving",
+).labels()
 
 # -- worker side ---------------------------------------------------------------
 
@@ -104,6 +123,24 @@ class PoolStats:
             return 0.0
         return min(1.0, self.synthesis_seconds / (wall_seconds * self.workers))
 
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot using the shared telemetry field names.
+
+        ``synthesis_seconds`` / ``serialization_seconds`` match the
+        identically named fields of
+        :meth:`~repro.snark.recursive.CompositionStats.to_dict`, so pool and
+        composition accounting line up column-for-column in telemetry.
+        """
+        return {
+            "workers": self.workers,
+            "requested_workers": self.requested_workers,
+            "tasks": self.tasks,
+            "chunks": self.chunks,
+            "serialization_seconds": self.serialization_seconds,
+            "synthesis_seconds": self.synthesis_seconds,
+            "fallback_reason": self.fallback_reason,
+        }
+
 
 class ProverPool:
     """A process pool that proves independent statements concurrently.
@@ -135,6 +172,7 @@ class ProverPool:
         if self._serial:
             self.stats.workers = 0
             self.stats.fallback_reason = "resolved worker count <= 1"
+        _POOL_WORKERS.set(self.stats.workers)
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -177,6 +215,8 @@ class ProverPool:
         self._serial = True
         self.stats.workers = 0
         self.stats.fallback_reason = self.stats.fallback_reason or reason
+        _POOL_FALLBACKS.inc()
+        _POOL_WORKERS.set(0)
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
@@ -204,6 +244,7 @@ class ProverPool:
         for public, witness in jobs:
             result = proving.prove_with_stats(pk, public, witness)
             self.stats.tasks += 1
+            _POOL_TASKS.inc()
             self.stats.synthesis_seconds += result.prove_seconds
             results.append(result)
         return results
@@ -236,6 +277,8 @@ class ProverPool:
                 futures.append(executor.submit(_prove_chunk, cid, blob))
                 self.stats.chunks += 1
                 self.stats.tasks += len(chunk)
+                _POOL_CHUNKS.inc()
+                _POOL_TASKS.inc(len(chunk))
             results: list[ProveResult] = []
             for future in futures:
                 chunk_results = future.result()
@@ -272,6 +315,8 @@ class ProverPool:
                 future = executor.submit(_prove_one, cid, blob)
                 self.stats.chunks += 1
                 self.stats.tasks += 1
+                _POOL_CHUNKS.inc()
+                _POOL_TASKS.inc()
                 return future
             except Exception as exc:
                 self._degrade(f"single-job dispatch failed: {exc}")

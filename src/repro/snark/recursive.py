@@ -25,12 +25,19 @@ from concurrent.futures import FIRST_COMPLETED, Future, wait
 from dataclasses import dataclass
 from typing import Any, Generic, Protocol, Sequence, TypeVar
 
+from repro import observability
 from repro.errors import SnarkError, StateTransitionError
 from repro.snark import proving
 from repro.snark.circuit import Circuit, CircuitBuilder
 from repro.snark.pool import ProverPool
 from repro.snark.proving import Proof, ProveResult, ProvingKey, VerifyingKey
 from repro.snark.r1cs import R1CSStats
+
+_TRACER = observability.tracer()
+_POOL_OCCUPANCY = observability.registry().gauge(
+    "repro_pool_occupancy",
+    "pool capacity kept busy by the last prove_sequence (0..1)",
+).labels()
 
 State = TypeVar("State")
 Transition = TypeVar("Transition")
@@ -124,6 +131,31 @@ class CompositionStats:
         """Fold in one proof's R1CS counters and synthesis timing."""
         self.record(result.stats)
         self.synthesis_seconds += result.prove_seconds
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot using the shared telemetry field names.
+
+        The timing fields (``wall_seconds``, ``synthesis_seconds``,
+        ``serialization_seconds``) carry the same names here, in
+        :meth:`~repro.snark.pool.PoolStats.to_dict` and in
+        ``LatusNode.last_epoch_stats``, so every telemetry surface reports
+        time under one schema.
+        """
+        return {
+            "base_proofs": self.base_proofs,
+            "merge_proofs": self.merge_proofs,
+            "tree_depth": self.tree_depth,
+            "constraints": self.constraints,
+            "native_checks": self.native_checks,
+            "synthesis_seconds": self.synthesis_seconds,
+            "serialization_seconds": self.serialization_seconds,
+            "wall_seconds": self.wall_seconds,
+            "pool_workers": self.pool_workers,
+            "pool_tasks": self.pool_tasks,
+            "pool_chunks": self.pool_chunks,
+            "pool_occupancy": self.pool_occupancy,
+            "critical_path_depth": self.critical_path_depth,
+        }
 
 
 class _BaseCircuit(Circuit, Generic[State, Transition]):
@@ -255,9 +287,10 @@ class RecursiveComposer(Generic[State, Transition]):
         next_state = self.system.apply(transition, state)
         d_from = self.system.digest(state)
         d_to = self.system.digest(next_state)
-        result = proving.prove_with_stats(
-            self._base_pk, (d_from, d_to), (state, transition)
-        )
+        with _TRACER.span("prove/base", system=self.system.name):
+            result = proving.prove_with_stats(
+                self._base_pk, (d_from, d_to), (state, transition)
+            )
         if stats is not None:
             stats.base_proofs += 1
             stats.record_result(result)
@@ -307,13 +340,18 @@ class RecursiveComposer(Generic[State, Transition]):
         if not proofs:
             raise SnarkError("cannot merge an empty proof list")
         level = list(proofs)
+        level_number = 0
         while len(level) > 1:
-            next_level = []
-            for i in range(0, len(level) - 1, 2):
-                next_level.append(self.merge(level[i], level[i + 1], stats))
-            if len(level) % 2 == 1:
-                next_level.append(level[-1])
-            level = next_level
+            level_number += 1
+            with _TRACER.span(
+                "prove/merge_level", level=level_number, merges=len(level) // 2
+            ):
+                next_level = []
+                for i in range(0, len(level) - 1, 2):
+                    next_level.append(self.merge(level[i], level[i + 1], stats))
+                if len(level) % 2 == 1:
+                    next_level.append(level[-1])
+                level = next_level
         if stats is not None:
             stats.tree_depth = max(stats.tree_depth, level[0].depth)
         return level[0]
@@ -459,32 +497,43 @@ class RecursiveComposer(Generic[State, Transition]):
             raise SnarkError("cannot prove an empty transition sequence")
         started = time.perf_counter()
         stats = CompositionStats()
-        if pool is not None:
-            self.register_keys(pool)
-            pool_before = (
-                pool.stats.tasks,
-                pool.stats.chunks,
-                pool.stats.serialization_seconds,
-            )
-            proofs, current = self.prove_bases_pool(state, transitions, pool, stats)
-            root = self.merge_all_parallel(proofs, pool, stats)
-            stats.pool_workers = pool.stats.workers
-            stats.pool_tasks = pool.stats.tasks - pool_before[0]
-            stats.pool_chunks = pool.stats.chunks - pool_before[1]
-            stats.serialization_seconds = (
-                pool.stats.serialization_seconds - pool_before[2]
-            )
-        else:
-            proofs = []
-            current = state
-            for transition in transitions:
-                proof, current = self.prove_base(current, transition, stats)
-                proofs.append(proof)
-            root = self.merge_all(proofs, stats)
+        with _TRACER.span(
+            "prove/sequence",
+            system=self.system.name,
+            transitions=len(transitions),
+            pooled=pool is not None,
+        ):
+            if pool is not None:
+                self.register_keys(pool)
+                pool_before = (
+                    pool.stats.tasks,
+                    pool.stats.chunks,
+                    pool.stats.serialization_seconds,
+                )
+                with _TRACER.span("prove/base_batch", jobs=len(transitions)):
+                    proofs, current = self.prove_bases_pool(
+                        state, transitions, pool, stats
+                    )
+                with _TRACER.span("prove/merge_tree", leaves=len(proofs)):
+                    root = self.merge_all_parallel(proofs, pool, stats)
+                stats.pool_workers = pool.stats.workers
+                stats.pool_tasks = pool.stats.tasks - pool_before[0]
+                stats.pool_chunks = pool.stats.chunks - pool_before[1]
+                stats.serialization_seconds = (
+                    pool.stats.serialization_seconds - pool_before[2]
+                )
+            else:
+                proofs = []
+                current = state
+                for transition in transitions:
+                    proof, current = self.prove_base(current, transition, stats)
+                    proofs.append(proof)
+                root = self.merge_all(proofs, stats)
         stats.wall_seconds = time.perf_counter() - started
         stats.critical_path_depth = root.depth + 1
         if stats.pool_workers and stats.wall_seconds > 0:
             stats.pool_occupancy = min(
                 1.0, stats.synthesis_seconds / (stats.wall_seconds * stats.pool_workers)
             )
+        _POOL_OCCUPANCY.set(stats.pool_occupancy)
         return root, current, stats

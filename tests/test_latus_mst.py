@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro import observability
 from repro.crypto import mimc
 from repro.errors import MstError
 from repro.latus.mst import MerkleStateTree
@@ -198,16 +199,18 @@ class TestApplyBatch:
         sequential, batched = MerkleStateTree(30), MerkleStateTree(30)
         assert len({sequential.position_of(u) for u in utxos}) == len(utxos)
 
-        mimc.clear_cache()
-        mimc.reset_stats()
-        for u in utxos:
-            sequential.add(u)
-        sequential_compressions = mimc.stats()["compressions"]
+        compressions = observability.registry().counter("repro_mimc_compressions_total")
 
         mimc.clear_cache()
-        mimc.reset_stats()
+        before = compressions.value()
+        for u in utxos:
+            sequential.add(u)
+        sequential_compressions = compressions.value() - before
+
+        mimc.clear_cache()
+        before = compressions.value()
         batched.apply_batch(add=utxos)
-        batched_compressions = mimc.stats()["compressions"]
+        batched_compressions = compressions.value() - before
 
         assert batched.root == sequential.root
         # distinct-ancestor rehashing must beat per-leaf path rehashing

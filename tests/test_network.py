@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro import observability
+from repro.errors import NetworkError, UnknownNetworkNode
 from repro.network import LatencyModel, NetworkSimulator
 
 
@@ -52,6 +54,30 @@ class TestSimulator:
         sim, _ = self._sim()
         with pytest.raises(KeyError):
             sim.send("a", "nope", "x")
+
+    def test_unknown_destination_typed_error(self):
+        sim, _ = self._sim()
+        with pytest.raises(UnknownNetworkNode) as excinfo:
+            sim.send("a", "nope", "x")
+        # the typed error slots into the library hierarchy AND stays a
+        # KeyError for pre-existing callers
+        assert isinstance(excinfo.value, NetworkError)
+        assert isinstance(excinfo.value, KeyError)
+        assert "nope" in str(excinfo.value)
+
+    def test_unknown_destination_counts_drop(self):
+        sim, _ = self._sim()
+        dropped = observability.registry().get("repro_network_dropped_total")
+        before = dropped.value()
+        with pytest.raises(UnknownNetworkNode):
+            sim.send("a", "nope", "x")
+        assert dropped.value() == before + 1
+
+    def test_unknown_broadcast_destination_rejected(self):
+        sim = NetworkSimulator()
+        sim.register("a", lambda src, msg: None)
+        # broadcast over known nodes only — never drops
+        assert sim.broadcast("a", "ping") == []
 
     def test_event_ordering(self):
         sim = NetworkSimulator()

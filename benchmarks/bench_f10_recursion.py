@@ -76,6 +76,17 @@ class TestFig10Recursion:
         )
         benchmark.extra_info["transactions"] = count
         benchmark.extra_info["constraints"] = result.stats.constraints
+        # how much of the synthesis time ran through cached constraint
+        # templates (evaluation-only) vs the eager builder
+        benchmark.extra_info["template_hits"] = result.stats.template_hits
+        benchmark.extra_info["synthesis_split"] = {
+            "eager_s": round(
+                result.stats.synthesis_seconds
+                - result.stats.template_eval_seconds,
+                6,
+            ),
+            "template_eval_s": round(result.stats.template_eval_seconds, 6),
+        }
         assert result.proof.span == count
 
     @pytest.mark.parametrize("count", [1, 4, 16])

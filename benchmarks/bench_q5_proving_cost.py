@@ -76,6 +76,18 @@ class TestQ5ProvingCost:
         benchmark.extra_info["base_proofs"] = result.stats.base_proofs
         benchmark.extra_info["merge_proofs"] = result.stats.merge_proofs
         benchmark.extra_info["constraints"] = result.stats.constraints
+        # synthesis-vs-evaluation split: per-transaction recursion replays
+        # cached constraint templates; the batched circuit (template_stable
+        # = False) re-synthesizes eagerly every time
+        benchmark.extra_info["template_hits"] = result.stats.template_hits
+        benchmark.extra_info["synthesis_split"] = {
+            "eager_s": round(
+                result.stats.synthesis_seconds
+                - result.stats.template_eval_seconds,
+                6,
+            ),
+            "template_eval_s": round(result.stats.template_eval_seconds, 6),
+        }
         assert prover.verify_epoch_proof(result.proof)
 
     def test_parallelism_headroom(self, benchmark):
@@ -97,6 +109,44 @@ class TestQ5ProvingCost:
         assert shape[4] == 3 and shape[16] == 5
         benchmark.extra_info["critical_path"] = shape
         print(f"\nQ5 parallel critical path (txs -> sequential proof steps): {shape}")
+
+    def test_template_synthesis_split(self, benchmark):
+        """Compile-once vs steady-state: the first epoch of a family pays
+        one eager synthesis per circuit shape (recorded as a template); a
+        second identical epoch replays every proof through evaluation-only
+        synthesis.  The split is read off ``CompositionStats`` directly."""
+        from repro.snark import compile as snark_compile
+
+        prover = EpochProver("per_transaction")
+        state, txs = payment_chain(8)
+        split = {}
+
+        def measure():
+            snark_compile.clear()
+            cold = prover.prove_epoch(state, txs)
+            warm = prover.prove_epoch(state, txs)
+            for name, result in (("cold", cold), ("warm", warm)):
+                split[name] = {
+                    "template_hits": result.stats.template_hits,
+                    "eager_s": round(
+                        result.stats.synthesis_seconds
+                        - result.stats.template_eval_seconds,
+                        6,
+                    ),
+                    "template_eval_s": round(
+                        result.stats.template_eval_seconds, 6
+                    ),
+                }
+            return split
+
+        benchmark.pedantic(measure, iterations=1, rounds=1)
+        # cold epoch: one compile per shape (1 base + 1 merge), 13 replays;
+        # warm epoch: all 15 proofs replay
+        assert split["cold"]["template_hits"] == 13
+        assert split["warm"]["template_hits"] == 15
+        assert split["warm"]["eager_s"] == 0
+        benchmark.extra_info["synthesis_split"] = split
+        print(f"\nQ5 synthesis-vs-evaluation split: {split}")
 
     @pytest.mark.parametrize("pool_size", [1, 2, 4])
     def test_bench_distributed_dispatch(self, benchmark, pool_size):

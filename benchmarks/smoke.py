@@ -18,15 +18,24 @@ speedup at 64 transactions / 4 workers on machines with 4+ cores; on
 smaller machines the pool clamps toward serial and the gate is a no-slower
 tolerance instead).
 
-Finally it runs an observability workload (one full harness epoch observed
+It then runs an observability workload (one full harness epoch observed
 by the process-wide metrics registry) recorded to ``BENCH_pr3.json``,
 gating on snapshot consistency: hash-op counters moved, mainchain and
 network layers reported, the ``epoch/prove`` span exists, the JSON and
 Prometheus exporters agree on every series, and disabling the registry
 does not slow the Merkle hot path down.
 
-Intended as a cheap CI gate for the MiMC/Merkle, prover performance and
-observability layers (see docs/PERFORMANCE.md and docs/OBSERVABILITY.md).
+Finally it runs a template-cache workload (repeated same-family base
+proofs, eager synthesis vs the constraint-template fast path of
+``repro.snark.compile``) recorded to ``BENCH_pr4.json``, gating on
+byte-identical proofs and identical R1CS stats across the two paths, zero
+structural-guard fallbacks for the stock family, and a ≥2x steady-state
+speedup (the repetition count adapts to the machine so the timed loops are
+long enough to be stable).
+
+Intended as a cheap CI gate for the MiMC/Merkle, prover performance,
+observability and template-cache layers (see docs/PERFORMANCE.md and
+docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -57,6 +66,7 @@ EPOCH_STATE_DEPTH = 8
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_pr1.json"
 DEFAULT_OUT_PR2 = Path(__file__).resolve().parent.parent / "BENCH_pr2.json"
 DEFAULT_OUT_PR3 = Path(__file__).resolve().parent.parent / "BENCH_pr3.json"
+DEFAULT_OUT_PR4 = Path(__file__).resolve().parent.parent / "BENCH_pr4.json"
 
 _MIMC_COUNTERS = {
     "compressions": "repro_mimc_compressions_total",
@@ -304,6 +314,93 @@ def run_telemetry_workload() -> dict:
     }
 
 
+def run_template_workload() -> dict:
+    """Repeated same-family base proofs: eager synthesis vs the template path.
+
+    Times ``reps`` proofs of one payment base statement with the template
+    cache off, then the same proofs with the cache on (the one-time compile
+    pass is timed separately), and cross-checks that both paths produce
+    byte-identical proofs and identical R1CS stats.  ``reps`` adapts to the
+    machine so each timed loop runs long enough to be stable.
+    """
+    from repro.latus.proofs import LatusTransitionSystem
+    from repro.snark import compile as snark_compile
+    from repro.snark import proving
+    from repro.snark.recursive import RecursiveComposer
+
+    system = LatusTransitionSystem()
+    composer = RecursiveComposer(system)
+    pk = composer._base_pk
+    state, txs = _payment_chain(1)
+    tx = txs[0]
+    next_state = system.apply(tx, state)
+    public = (system.digest(state), system.digest(next_state))
+    witness = (state, tx)
+
+    snark_compile.clear()
+    with snark_compile.use_templates(False):
+        # warmup: fills the signature-verify memo so both timed loops pay
+        # the same (cached) authorization cost, then size the loops
+        proving.prove_with_stats(pk, public, witness)
+        start = time.perf_counter()
+        baseline = proving.prove_with_stats(pk, public, witness)
+        single_wall = time.perf_counter() - start
+        reps = min(100, max(10, int(0.3 / max(single_wall, 1e-4))))
+
+        start = time.perf_counter()
+        slow = [proving.prove_with_stats(pk, public, witness) for _ in range(reps)]
+        slow_wall = time.perf_counter() - start
+
+    before = snark_compile.template_stats()
+    with snark_compile.use_templates(True):
+        start = time.perf_counter()
+        compiled = proving.prove_with_stats(pk, public, witness)
+        compile_wall = time.perf_counter() - start
+
+        start = time.perf_counter()
+        fast = [proving.prove_with_stats(pk, public, witness) for _ in range(reps)]
+        fast_wall = time.perf_counter() - start
+    after = snark_compile.template_stats()
+
+    results = [baseline, compiled, *slow, *fast]
+    return {
+        "workload": (
+            f"{reps} repeated single-payment base proofs, eager synthesis vs "
+            "constraint-template replay"
+        ),
+        "reps": reps,
+        "eager": {"wall_s": slow_wall, "per_proof_s": slow_wall / reps},
+        "template": {
+            "wall_s": fast_wall,
+            "per_proof_s": fast_wall / reps,
+            "compile_pass_s": compile_wall,
+        },
+        "wall_speedup": slow_wall / fast_wall if fast_wall else float("inf"),
+        "proofs_identical": all(
+            r.proof.data == baseline.proof.data for r in results
+        ),
+        "stats_identical": all(r.stats == baseline.stats for r in results),
+        "all_fast_via_template": all(r.via_template for r in fast),
+        "template_counters": {
+            key: after[key] - before[key]
+            for key in ("compiles", "hits", "misses", "fallbacks")
+        },
+    }
+
+
+def template_checks(tpl: dict) -> dict:
+    """The BENCH_pr4 gate: equivalence always, speedup on the steady state."""
+    return {
+        "template_proofs_identical": tpl["proofs_identical"],
+        "template_stats_identical": tpl["stats_identical"],
+        "template_path_taken": tpl["all_fast_via_template"],
+        "template_zero_fallbacks": tpl["template_counters"]["fallbacks"] == 0,
+        # acceptance target: the evaluation-only replay is >= 2x faster than
+        # re-running eager synthesis for every proof
+        "template_speedup_at_least_2x": tpl["wall_speedup"] >= 2.0,
+    }
+
+
 def telemetry_checks(tele: dict) -> dict:
     """The BENCH_pr3 gate: the snapshot must be internally consistent."""
     return {
@@ -358,8 +455,14 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_OUT_PR3,
         help="output JSON path for the observability workload",
     )
+    parser.add_argument(
+        "--out-pr4",
+        type=Path,
+        default=DEFAULT_OUT_PR4,
+        help="output JSON path for the template-cache workload",
+    )
     args = parser.parse_args(argv)
-    for out in (args.out, args.out_pr2, args.out_pr3):
+    for out in (args.out, args.out_pr2, args.out_pr3, args.out_pr4):
         if not out.parent.is_dir():
             parser.error(f"output directory does not exist: {out.parent}")
 
@@ -408,6 +511,16 @@ def main(argv: list[str] | None = None) -> int:
     }
     args.out_pr3.write_text(json.dumps(pr3_report, indent=2) + "\n")
 
+    tpl = run_template_workload()
+    pr4_checks = template_checks(tpl)
+    pr4_report = {
+        "suite": "constraint-template proving smoke (PR 4)",
+        "workloads": {"template_cache": tpl},
+        "checks": pr4_checks,
+        "ok": all(pr4_checks.values()),
+    }
+    args.out_pr4.write_text(json.dumps(pr4_report, indent=2) + "\n")
+
     for name, result in report["workloads"].items():
         print(
             f"{name}: sequential {result['sequential']['wall_s']:.3f}s "
@@ -438,8 +551,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     for name, passed in pr3_checks.items():
         print(f"  check {name}: {'ok' if passed else 'FAIL'}")
-    print(f"wrote {args.out}, {args.out_pr2} and {args.out_pr3}")
-    return 0 if report["ok"] and pr2_report["ok"] and pr3_report["ok"] else 1
+    print(
+        f"template_cache: eager {tpl['eager']['per_proof_s'] * 1e3:.2f}ms/proof "
+        f"vs template {tpl['template']['per_proof_s'] * 1e3:.2f}ms/proof over "
+        f"{tpl['reps']} proofs (compile pass "
+        f"{tpl['template']['compile_pass_s'] * 1e3:.0f}ms) — "
+        f"{tpl['wall_speedup']:.2f}x wall"
+    )
+    for name, passed in pr4_checks.items():
+        print(f"  check {name}: {'ok' if passed else 'FAIL'}")
+    print(
+        f"wrote {args.out}, {args.out_pr2}, {args.out_pr3} and {args.out_pr4}"
+    )
+    return 0 if all(
+        r["ok"] for r in (report, pr2_report, pr3_report, pr4_report)
+    ) else 1
 
 
 if __name__ == "__main__":

@@ -151,6 +151,10 @@ class BatchedLatusSystem:
 
     name = "latus-batched-v1"
 
+    #: The batched base circuit's shape tracks the whole epoch's transaction
+    #: mix, so templates would churn every epoch — keep it on full synthesis.
+    template_stable = False
+
     def __init__(self) -> None:
         self._inner = LatusTransitionSystem()
 

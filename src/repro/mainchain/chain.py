@@ -384,9 +384,13 @@ class Blockchain:
         return False
 
     def state_at(self, block_hash: bytes) -> MainchainState:
-        """The validated state after ``block_hash`` (any branch; do not mutate)."""
+        """The validated state after ``block_hash`` (any branch).
+
+        Returns a defensive copy: callers may mutate the result freely
+        without corrupting the branch's recorded state.
+        """
         try:
-            return self._records[block_hash].state
+            return self._records[block_hash].state.copy()
         except KeyError:
             raise UnknownBlock(f"unknown block {block_hash.hex()[:16]}")
 

@@ -5,6 +5,13 @@ see :mod:`repro.snark.proving` and DESIGN.md §4 for the substitution notice.
 """
 
 from repro.snark.circuit import Circuit, CircuitBuilder, Wire
+from repro.snark.compile import (
+    ConstraintTemplate,
+    EvaluationBuilder,
+    synthesize_for_proof,
+    template_stats,
+    use_templates,
+)
 from repro.snark.pool import PoolStats, ProverPool
 from repro.snark.proving import (
     PROOF_SIZE,
@@ -31,6 +38,8 @@ __all__ = [
     "CircuitBuilder",
     "CompositionStats",
     "ConstraintSystem",
+    "ConstraintTemplate",
+    "EvaluationBuilder",
     "LinearCombination",
     "PROOF_SIZE",
     "PoolStats",
@@ -48,5 +57,8 @@ __all__ = [
     "prove",
     "prove_with_stats",
     "setup",
+    "synthesize_for_proof",
+    "template_stats",
+    "use_templates",
     "verify",
 ]

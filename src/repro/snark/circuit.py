@@ -18,7 +18,7 @@ from typing import Any, Sequence
 
 from repro.crypto.field import MODULUS, inv
 from repro.errors import SynthesisError
-from repro.snark.r1cs import ConstraintSystem, LinearCombination, R1CSStats
+from repro.snark.r1cs import ConstraintSystem, LinearCombination, R1CSStats, lc_sum
 
 
 class Wire:
@@ -81,11 +81,19 @@ class CircuitBuilder:
         return Wire(a.lc.scale(scalar), a.value * scalar % MODULUS)
 
     def sum(self, wires: Sequence[Wire]) -> Wire:
-        """Wire for the sum of ``wires`` — linear, costs no constraint."""
-        total = self.constant(0)
+        """Wire for the sum of ``wires`` — linear, costs no constraint.
+
+        Accumulates terms into one mutable scratch dict (via
+        :func:`~repro.snark.r1cs.lc_sum`) instead of chaining pairwise
+        ``__add__``, which copies the accumulated dict per addend —
+        quadratic in the total term count for add-heavy gadgets.
+        ``LinearCombination`` stays immutable by convention; the scratch
+        dict lives only inside the accumulator.
+        """
+        total_value = 0
         for w in wires:
-            total = self.add(total, w)
-        return total
+            total_value += w.value
+        return Wire(lc_sum(w.lc for w in wires), total_value % MODULUS)
 
     # -- multiplicative ops (one constraint each) ------------------------------
 
@@ -136,15 +144,12 @@ class CircuitBuilder:
         ``sum(bit_i * 2**i) == a``; this doubles as a range check
         ``a < 2**num_bits``.
         """
-        if a.value >= (1 << num_bits):
-            # allocate truncated bits so enforcement fails canonically
-            bits_int = [(a.value >> i) & 1 for i in range(num_bits)]
-        else:
-            bits_int = [(a.value >> i) & 1 for i in range(num_bits)]
-        bits = [self.alloc_bit(b) for b in bits_int]
-        recomposed = self.constant(0)
-        for i, bit in enumerate(bits):
-            recomposed = self.add(recomposed, self.scale(bit, 1 << i))
+        # out-of-range values get truncated bits so enforcement fails
+        # canonically at the recomposition constraint
+        bits = [self.alloc_bit((a.value >> i) & 1) for i in range(num_bits)]
+        recomposed = self.sum(
+            [self.scale(bit, 1 << i) for i, bit in enumerate(bits)]
+        )
         self.enforce_equal(recomposed, a, annotation)
         return bits
 
@@ -198,6 +203,12 @@ class Circuit(abc.ABC):
 
     #: Stable identifier of the constraint-system family.
     circuit_id: str = ""
+
+    #: Whether :mod:`repro.snark.compile` may cache this family's constraint
+    #: structure and replay later proofs through the evaluation-only builder.
+    #: Set False on circuits whose shape varies per witness beyond a small
+    #: set of recurring forms (e.g. the batched-epoch ablation circuit).
+    template_stable: bool = True
 
     def parameters_digest(self) -> bytes:
         """Digest of circuit parameters that alter the constraint structure.

@@ -1,0 +1,681 @@
+"""Compile-once constraint templates for the proving hot path.
+
+Every ``prove()`` call used to re-synthesize its circuit from scratch:
+:class:`~repro.snark.circuit.CircuitBuilder` rebuilds sparse
+``LinearCombination`` dicts, allocates a ``Wire`` per gadget output and
+eagerly evaluates each constraint — even though the constraint *structure*
+of a circuit family (fixed-depth MST paths, fixed MiMC round count, Def.
+2.3) is identical across proofs and only the assignment changes.  Real
+SNARK stacks preprocess exactly this invariant into the proving key; this
+module does the Python equivalent.
+
+The first synthesis of a ``(circuit_id, parameters_digest)`` family runs
+through the ordinary eager builder with constraint retention and records a
+:class:`ConstraintTemplate`: flattened sparse A/B/C term arrays (tuples of
+``(variable, coefficient)`` per constraint), the public-wire layout and the
+allocation/constraint/native-check counts.  Subsequent proofs for the same
+family run the circuit's ``synthesize()`` through an
+:class:`EvaluationBuilder` whose wires are bare values backed by a flat
+assignment list — no LC dict merging, no ``Constraint`` objects, no per-op
+eager checks — and satisfiability is then checked in one batched streaming
+pass ``<A_i, z> * <B_i, z> == <C_i, z>`` over the cached arrays.
+
+**Structural guard.**  A template is only applied when the traced shape —
+allocation count, constraint count, native-check count and public-wire
+layout — matches one recorded for the family.  Circuits whose shape
+legitimately varies with the witness (the Latus base circuit branches on
+the transaction type, the WCert circuit on the epoch-0 boundary) get one
+template per observed shape, up to :data:`MAX_TEMPLATES_PER_FAMILY`;
+beyond that the family is considered shape-shifting and **permanently
+falls back** to full synthesis, counted on
+``repro_snark_template_fallbacks_total``.  Any divergence the counters
+cannot see (a batched-pass failure or evaluation error that full synthesis
+does not reproduce) likewise trips the permanent fallback, so the fast
+path can only ever cost one redundant synthesis — never a wrong result.
+
+**Failure fidelity.**  Native checks run eagerly during evaluation (they
+are genuine witness predicates, not arithmetized structure).  When one
+fails, or when the batched pass finds an unsatisfied constraint, the proof
+is re-synthesized on the canonical slow path so the raised
+:class:`~repro.errors.UnsatisfiedConstraint` carries exactly the
+annotation and ordering the eager builder would have produced.  Rejection
+is the exceptional case; honest proving never pays the rerun.
+
+Disable globally with ``REPRO_SNARK_TEMPLATES=0`` in the environment, or
+per-scope with :func:`use_templates` / :func:`set_enabled` (what the
+equivalence tests and the synthesis-vs-evaluation benchmarks use).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from repro import observability
+from repro.crypto.field import MODULUS, inv
+from repro.errors import SynthesisError, UnsatisfiedConstraint
+from repro.snark.circuit import Circuit, CircuitBuilder, _validate_publics
+from repro.snark.r1cs import R1CSStats
+
+#: Distinct witness shapes cached per circuit family before the family is
+#: declared shape-shifting and permanently falls back to full synthesis.
+MAX_TEMPLATES_PER_FAMILY: int = 8
+
+_REGISTRY = observability.registry()
+_TRACER = observability.tracer()
+_COMPILES = _REGISTRY.counter(
+    "repro_snark_template_compiles_total",
+    "constraint templates recorded from a full synthesis",
+).labels()
+_HITS = _REGISTRY.counter(
+    "repro_snark_template_hits_total",
+    "proofs synthesized through a cached constraint template",
+).labels()
+_MISSES = _REGISTRY.counter(
+    "repro_snark_template_misses_total",
+    "proofs that found no usable template and compiled one",
+).labels()
+_FALLBACKS = _REGISTRY.counter(
+    "repro_snark_template_fallbacks_total",
+    "proofs forced onto full synthesis by the structural guard",
+).labels()
+
+_ENABLED_AT_IMPORT = os.environ.get("REPRO_SNARK_TEMPLATES", "1") not in (
+    "0",
+    "false",
+    "off",
+)
+
+#: Family key -> shape key -> template.  A family is one Setup identity.
+_FAMILIES: dict[tuple[str, bytes], dict[tuple, "ConstraintTemplate"]] = {}
+#: Families the structural guard has permanently retired from the fast path.
+_FALLEN_BACK: set[tuple[str, bytes]] = set()
+_enabled: bool = _ENABLED_AT_IMPORT
+
+
+# -- the template --------------------------------------------------------------
+
+#: One flattened constraint: sparse A/B/C term tuples plus the annotation.
+_FlatConstraint = tuple[
+    tuple[tuple[int, int], ...],
+    tuple[tuple[int, int], ...],
+    tuple[tuple[int, int], ...],
+    str,
+]
+
+
+@dataclass(frozen=True)
+class ConstraintTemplate:
+    """The compile-once structure of one circuit family shape.
+
+    Everything the batched satisfiability pass needs, with no live
+    ``LinearCombination`` or ``Constraint`` objects: variables are bare
+    indices into the flat assignment vector (``z[0] == 1``).
+    """
+
+    circuit_id: str
+    parameters_digest: bytes
+    num_variables: int
+    num_constraints: int
+    num_native_checks: int
+    public_indices: tuple[int, ...]
+    constraints: tuple[_FlatConstraint, ...]
+
+    @property
+    def shape_key(self) -> tuple:
+        """The structural-guard identity this template answers to."""
+        return (
+            self.num_variables,
+            self.num_constraints,
+            self.num_native_checks,
+            self.public_indices,
+        )
+
+    def stats(self) -> R1CSStats:
+        """The R1CS statistics every proof of this shape reports."""
+        return R1CSStats(
+            num_constraints=self.num_constraints,
+            num_variables=self.num_variables,
+            num_public_inputs=len(self.public_indices),
+            num_native_checks=self.num_native_checks,
+        )
+
+
+# -- the evaluation-only builder -----------------------------------------------
+
+
+class _EvalAbort(Exception):
+    """Internal: a native check failed during template evaluation.
+
+    Deliberately *not* an :class:`UnsatisfiedConstraint` — the canonical
+    error (with eager ordering and annotation) is produced by re-running
+    the slow path, so nothing outside this module may catch this one.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+
+class EvalWire:
+    """An evaluation-path wire: just the concrete field value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"EvalWire(value={self.value})"
+
+
+class EvaluationBuilder:
+    """Slim stand-in for :class:`CircuitBuilder` on the template fast path.
+
+    Mirrors the eager builder's allocation and constraint *counting*
+    op-for-op (the structural guard depends on it) while doing none of the
+    linear-combination bookkeeping: wires carry only values, the assignment
+    is a flat list, and arithmetic constraints are deferred to the batched
+    template pass.  Native checks still run eagerly — they are witness
+    predicates the template cannot capture.
+    """
+
+    __slots__ = (
+        "assignment",
+        "public_indices",
+        "num_constraints",
+        "num_native_checks",
+        "_one",
+        "_append",
+    )
+
+    def __init__(self) -> None:
+        self.assignment: list[int] = [1]  # z[0] == 1
+        self.public_indices: list[int] = []
+        self.num_constraints = 0
+        self.num_native_checks = 0
+        self._one = EvalWire(1)
+        # bound once: the hot gadget loops append thousands of times per proof
+        self._append = self.assignment.append
+
+    # -- allocation ----------------------------------------------------------
+
+    @property
+    def one(self) -> EvalWire:
+        """The constant-one wire."""
+        return self._one
+
+    def constant(self, value: int) -> EvalWire:
+        """A wire fixed to a field constant (costs no variable)."""
+        return EvalWire(value % MODULUS)
+
+    def alloc(self, value: int) -> EvalWire:
+        """Allocate a private witness wire carrying ``value``."""
+        v = value % MODULUS
+        self._append(v)
+        return EvalWire(v)
+
+    def alloc_public(self, value: int) -> EvalWire:
+        """Allocate a public-input wire carrying ``value``."""
+        v = value % MODULUS
+        self.public_indices.append(len(self.assignment))
+        self.assignment.append(v)
+        return EvalWire(v)
+
+    def alloc_publics(self, values: Sequence[int]) -> list[EvalWire]:
+        """Allocate a list of public-input wires."""
+        return [self.alloc_public(v) for v in values]
+
+    # -- linear ops (free: no constraints) -----------------------------------
+
+    def add(self, a: EvalWire, b: EvalWire) -> EvalWire:
+        return EvalWire((a.value + b.value) % MODULUS)
+
+    def sub(self, a: EvalWire, b: EvalWire) -> EvalWire:
+        return EvalWire((a.value - b.value) % MODULUS)
+
+    def scale(self, a: EvalWire, scalar: int) -> EvalWire:
+        return EvalWire(a.value * scalar % MODULUS)
+
+    def sum(self, wires: Sequence[EvalWire]) -> EvalWire:
+        total = 0
+        for w in wires:
+            total += w.value
+        return EvalWire(total % MODULUS)
+
+    # -- multiplicative ops (one deferred constraint each) ---------------------
+
+    def mul(self, a: EvalWire, b: EvalWire, annotation: str = "mul") -> EvalWire:
+        v = a.value * b.value % MODULUS
+        self._append(v)
+        self.num_constraints += 1
+        return EvalWire(v)
+
+    def square(self, a: EvalWire, annotation: str = "square") -> EvalWire:
+        return self.mul(a, a, annotation)
+
+    def enforce_equal(self, a: EvalWire, b: EvalWire, annotation: str = "eq") -> None:
+        self.num_constraints += 1
+
+    def enforce_zero(self, a: EvalWire, annotation: str = "zero") -> None:
+        self.num_constraints += 1
+
+    def enforce_boolean(self, a: EvalWire, annotation: str = "bool") -> None:
+        self.num_constraints += 1
+
+    def enforce_nonzero(self, a: EvalWire, annotation: str = "nonzero") -> None:
+        value = a.value
+        # mirror the eager builder: a bogus inverse for zero so the deferred
+        # constraint fails with the canonical UnsatisfiedConstraint
+        self._append(inv(value) if value else 0)
+        self.num_constraints += 1
+
+    # -- composite gadgets -----------------------------------------------------
+
+    def alloc_bit(self, value: int) -> EvalWire:
+        bit = self.alloc(value)
+        self.num_constraints += 1
+        return bit
+
+    def decompose_bits(
+        self, a: EvalWire, num_bits: int, annotation: str = "bits"
+    ) -> list[EvalWire]:
+        value = a.value
+        append = self._append
+        bits = []
+        for i in range(num_bits):
+            b = (value >> i) & 1
+            append(b)
+            bits.append(EvalWire(b))
+        # one boolean constraint per bit plus the recomposition equality
+        self.num_constraints += num_bits + 1
+        return bits
+
+    def enforce_range(
+        self, a: EvalWire, num_bits: int, annotation: str = "range"
+    ) -> None:
+        self.decompose_bits(a, num_bits, annotation)
+
+    def select(
+        self, condition: EvalWire, if_true: EvalWire, if_false: EvalWire
+    ) -> EvalWire:
+        v = if_true.value if condition.value else if_false.value
+        self._append(v)
+        self.num_constraints += 1
+        return EvalWire(v)
+
+    def swap_if(
+        self, condition: EvalWire, a: EvalWire, b: EvalWire
+    ) -> tuple[EvalWire, EvalWire]:
+        return self.select(condition, b, a), self.select(condition, a, b)
+
+    def assert_native(self, condition: bool, message: str) -> None:
+        self.num_native_checks += 1
+        if not condition:
+            raise _EvalAbort(message)
+
+    # -- results -----------------------------------------------------------------
+
+    def shape_key(self) -> tuple:
+        """The structural identity of the just-traced synthesis."""
+        return (
+            len(self.assignment) - 1,
+            self.num_constraints,
+            self.num_native_checks,
+            tuple(self.public_indices),
+        )
+
+    def public_values(self) -> tuple[int, ...]:
+        """The values of all public-input wires, in allocation order."""
+        assignment = self.assignment
+        return tuple(assignment[i] for i in self.public_indices)
+
+    def stats(self) -> R1CSStats:
+        """Size statistics of everything traced so far."""
+        return R1CSStats(
+            num_constraints=self.num_constraints,
+            num_variables=len(self.assignment) - 1,
+            num_public_inputs=len(self.public_indices),
+            num_native_checks=self.num_native_checks,
+        )
+
+
+# -- compilation and evaluation -------------------------------------------------
+
+
+def family_key(circuit: Circuit) -> tuple[str, bytes]:
+    """The template-cache key — same identity as ``setup()`` key derivation."""
+    return (circuit.circuit_id, bytes(circuit.parameters_digest()))
+
+
+def _full_synthesis(
+    circuit: Circuit,
+    public_input: Sequence[int],
+    witness: Any,
+    keep_constraints: bool = False,
+) -> CircuitBuilder:
+    builder = CircuitBuilder(keep_constraints=keep_constraints)
+    circuit.synthesize(builder, public_input, witness)
+    _validate_publics(builder, public_input)
+    return builder
+
+
+def _template_from(builder: CircuitBuilder, circuit: Circuit) -> ConstraintTemplate:
+    cs = builder.cs
+    flattened = tuple(
+        (
+            tuple(c.a.terms.items()),
+            tuple(c.b.terms.items()),
+            tuple(c.c.terms.items()),
+            c.annotation,
+        )
+        for c in cs.constraints
+    )
+    return ConstraintTemplate(
+        circuit_id=circuit.circuit_id,
+        parameters_digest=bytes(circuit.parameters_digest()),
+        num_variables=len(cs.assignment) - 1,
+        num_constraints=cs.num_constraints,
+        num_native_checks=cs.num_native_checks,
+        public_indices=tuple(cs.public_indices),
+        constraints=flattened,
+    )
+
+
+def _trip_fallback(key: tuple[str, bytes]) -> None:
+    """Retire a family from the fast path permanently."""
+    _FAMILIES.pop(key, None)
+    _FALLEN_BACK.add(key)
+
+
+def _compile(
+    circuit: Circuit,
+    key: tuple[str, bytes],
+    public_input: Sequence[int],
+    witness: Any,
+) -> R1CSStats:
+    """Full synthesis that records a template for the observed shape."""
+    with _TRACER.span("snark/template_compile", circuit=circuit.circuit_id):
+        builder = _full_synthesis(
+            circuit, public_input, witness, keep_constraints=True
+        )
+        template = _template_from(builder, circuit)
+        family = _FAMILIES.setdefault(key, {})
+        if template.shape_key in family or len(family) < MAX_TEMPLATES_PER_FAMILY:
+            family[template.shape_key] = template
+            # build the exec-compiled batched checker now, inside the
+            # compile span, so the first template hit is already fast
+            _checker_for(key, template)
+            _COMPILES.inc()
+        else:
+            # the family keeps presenting new shapes: it is shape-shifting,
+            # so stop paying the trace-then-resynthesize toll for it
+            _trip_fallback(key)
+            _FALLBACKS.inc()
+    return builder.stats()
+
+
+#: Per-process cache of exec-compiled batched checkers, keyed by
+#: ``(family_key, shape_key)``.  Checkers close over nothing and cannot be
+#: pickled, so pool workers compile their own from the shipped templates on
+#: first use.
+_CHECKERS: dict[tuple, Any] = {}
+
+
+#: Coefficients below this inline as decimal literals; larger ones hoist
+#: into the checker's constants tuple — CPython's parser is the bottleneck
+#: of checker compilation, and a full-width field coefficient is a 77-digit
+#: literal.
+_INLINE_COEFF_MAX: int = 1 << 32
+
+
+def _coeff_expr(coeff: int, constants: list[int]) -> str:
+    """Render a coefficient compactly: small literal, ``-small`` for values
+    just under the modulus (subtraction terms), or a constants-tuple slot."""
+    negated = MODULUS - coeff
+    if negated < coeff:
+        sign, magnitude = "-", negated
+    else:
+        sign, magnitude = "", coeff
+    if magnitude < _INLINE_COEFF_MAX:
+        return f"{sign}{magnitude}"
+    constants.append(coeff)
+    return f"K[{len(constants) - 1}]"
+
+
+def _term_expr(terms: tuple[tuple[int, int], ...], constants: list[int]) -> str:
+    if not terms:
+        return "0"
+    parts = []
+    for var, coeff in terms:
+        if var == 0:  # ONE: z[0] == 1, the coefficient stands alone
+            parts.append(_coeff_expr(coeff, constants))
+        elif coeff == 1:
+            parts.append(f"z[{var}]")
+        else:
+            parts.append(f"{_coeff_expr(coeff, constants)}*z[{var}]")
+    return "+".join(parts)
+
+
+def _checker_for(key: tuple[str, bytes], template: ConstraintTemplate):
+    """The batched pass as one generated flat function.
+
+    Emits ``<A_i,z> * <B_i,z> == <C_i,z>`` as a literal expression per
+    constraint — variable indices and coefficients baked in, no dict or
+    tuple iteration at check time — and ``exec``-compiles the lot once per
+    process per template (the same technique as the unrolled MiMC
+    permutation).  Sums may go negative through the ``-small`` coefficient
+    form; Python's ``%`` normalizes them, so the comparisons stay exact.
+    Returns False at the first unsatisfied constraint; the caller re-runs
+    full synthesis for the canonical error, so no violation bookkeeping is
+    needed here.
+    """
+    cache_key = (key, template.shape_key)
+    checker = _CHECKERS.get(cache_key)
+    if checker is None:
+        constants: list[int] = []
+        body = []
+        for a_terms, b_terms, c_terms, _annotation in template.constraints:
+            a = _term_expr(a_terms, constants)
+            b = _term_expr(b_terms, constants)
+            c = _term_expr(c_terms, constants)
+            # common-form shortcuts: multiplying by the constant 1 is a
+            # no-op, and a bare assignment variable on the C side is already
+            # canonical, so both drop a bignum operation per constraint
+            left = f"({a})%M" if b == "1" else f"({a})*({b})%M"
+            if c == "0":
+                body.append(f"    if {left}: return False")
+            elif len(c_terms) == 1 and c_terms[0][0] != 0 and c_terms[0][1] == 1:
+                body.append(f"    if {left} != {c}: return False")
+            else:
+                body.append(f"    if {left} != ({c})%M: return False")
+        lines = [
+            "def _check(z, M=M, K=K):",
+            *body,
+            "    return True",
+        ]
+        namespace: dict[str, Any] = {"M": MODULUS, "K": tuple(constants)}
+        exec(compile("\n".join(lines), "<snark-template-checker>", "exec"), namespace)
+        checker = namespace["_check"]
+        _CHECKERS[cache_key] = checker
+    return checker
+
+
+def _first_violation(
+    template: ConstraintTemplate, z: list[int]
+) -> tuple[int, str] | None:
+    """The batched streaming pass: first unsatisfied constraint, if any."""
+    M = MODULUS
+    for index, (a_terms, b_terms, c_terms, annotation) in enumerate(
+        template.constraints
+    ):
+        total = 0
+        for var, coeff in a_terms:
+            total += coeff * z[var]
+        left = total % M
+        total = 0
+        for var, coeff in b_terms:
+            total += coeff * z[var]
+        left = left * (total % M) % M
+        total = 0
+        for var, coeff in c_terms:
+            total += coeff * z[var]
+        if left != total % M:
+            return index, annotation
+    return None
+
+
+def synthesize_for_proof(
+    circuit: Circuit, public_input: Sequence[int], witness: Any
+) -> tuple[R1CSStats, bool]:
+    """Synthesize a statement for proving, through a template when possible.
+
+    Returns ``(stats, via_template)``.  Behaviour is indistinguishable from
+    a plain eager synthesis: identical :class:`R1CSStats`, identical
+    acceptance, and identical :class:`UnsatisfiedConstraint` annotations on
+    rejection (rejected witnesses re-run the slow path to reproduce the
+    canonical error ordering).
+    """
+    if not _enabled or not getattr(circuit, "template_stable", True):
+        return _full_synthesis(circuit, public_input, witness).stats(), False
+
+    key = family_key(circuit)
+    if key in _FALLEN_BACK:
+        _FALLBACKS.inc()
+        return _full_synthesis(circuit, public_input, witness).stats(), False
+
+    family = _FAMILIES.get(key)
+    if not family:
+        _MISSES.inc()
+        return _compile(circuit, key, public_input, witness), False
+
+    evaluator = EvaluationBuilder()
+    try:
+        circuit.synthesize(evaluator, public_input, witness)
+    except _EvalAbort:
+        # A native check failed.  Re-run the eager builder so the raised
+        # error carries the canonical eager ordering (an arithmetic
+        # constraint enforced earlier in the synthesis wins over the native
+        # check) and annotation.  If the slow path somehow succeeds, the
+        # evaluation diverged from real synthesis: retire the family.
+        stats = _full_synthesis(circuit, public_input, witness).stats()
+        _trip_fallback(key)
+        _FALLBACKS.inc()
+        return stats, False
+
+    template = family.get(evaluator.shape_key())
+    if template is None:
+        # a shape this family has not presented before: compile it too
+        # (bounded by MAX_TEMPLATES_PER_FAMILY inside _compile)
+        _MISSES.inc()
+        return _compile(circuit, key, public_input, witness), False
+
+    if not _checker_for(key, template)(evaluator.assignment):
+        # An arithmetic constraint is unsatisfied.  All native checks
+        # passed and every constraint before it holds, so the eager path
+        # would raise exactly here — but re-run it anyway: if the template
+        # wiring had silently diverged under an identical shape (count
+        # collision), rejecting a valid witness would break completeness.
+        stats = _full_synthesis(circuit, public_input, witness).stats()
+        _trip_fallback(key)
+        _FALLBACKS.inc()
+        return stats, False
+
+    expected = tuple(v % MODULUS for v in public_input)
+    declared = evaluator.public_values()
+    if declared != expected:
+        raise SynthesisError(
+            "circuit did not allocate the declared public input: "
+            f"declared {len(declared)} values, expected {len(expected)}"
+        )
+    _HITS.inc()
+    return template.stats(), True
+
+
+# -- cache management ------------------------------------------------------------
+
+
+def enabled() -> bool:
+    """Whether the template fast path is active in this process."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> None:
+    """Turn the template fast path on or off (cache contents are kept)."""
+    global _enabled
+    _enabled = bool(flag)
+
+
+@contextmanager
+def use_templates(flag: bool) -> Iterator[None]:
+    """Scope the fast path on or off — the equivalence-test/bench helper."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+def clear() -> None:
+    """Drop every cached template and fallback marker (counters untouched)."""
+    _FAMILIES.clear()
+    _FALLEN_BACK.clear()
+    _CHECKERS.clear()
+
+
+def template_count() -> int:
+    """Total templates currently cached across all families."""
+    return sum(len(family) for family in _FAMILIES.values())
+
+
+def family_templates(circuit: Circuit) -> list[ConstraintTemplate]:
+    """The cached templates for a circuit's family (tests/diagnostics)."""
+    return list(_FAMILIES.get(family_key(circuit), {}).values())
+
+
+def is_fallen_back(circuit: Circuit) -> bool:
+    """True when the structural guard retired this circuit's family."""
+    return family_key(circuit) in _FALLEN_BACK
+
+
+def template_stats() -> dict:
+    """Counter snapshot plus cache occupancy (the bench/telemetry surface)."""
+    return {
+        "compiles": int(_COMPILES.value),
+        "hits": int(_HITS.value),
+        "misses": int(_MISSES.value),
+        "fallbacks": int(_FALLBACKS.value),
+        "families": len(_FAMILIES),
+        "templates": template_count(),
+        "fallen_back_families": len(_FALLEN_BACK),
+        "enabled": _enabled,
+    }
+
+
+def export_state() -> tuple[dict, set]:
+    """Everything a pool worker needs to skip its own compile passes.
+
+    Shipped (pickled) through the executor initializer next to the proving
+    keys, so each worker starts with the parent's compiled templates and
+    fallback markers instead of re-compiling once per worker — and never
+    once per task.
+    """
+    return (
+        {key: dict(family) for key, family in _FAMILIES.items()},
+        set(_FALLEN_BACK),
+    )
+
+
+def import_state(state: tuple[dict, set]) -> None:
+    """Merge a parent process's exported template state (worker side)."""
+    families, fallen_back = state
+    for key, family in families.items():
+        if key in _FALLEN_BACK:
+            continue
+        _FAMILIES.setdefault(key, {}).update(family)
+    for key in fallen_back:
+        _trip_fallback(key)

@@ -36,6 +36,7 @@ from typing import Any, Sequence
 
 from repro import observability
 from repro.errors import SnarkError, UnsatisfiedConstraint
+from repro.snark import compile as snark_compile
 from repro.snark import proving
 from repro.snark.proving import ProveResult, ProvingKey
 
@@ -65,8 +66,17 @@ _WORKER_PKS: dict[str, ProvingKey] = {}
 
 
 def _init_worker(pk_blob: bytes) -> None:
-    """Executor initializer: unpickle the registered keys exactly once."""
-    _WORKER_PKS.update(pickle.loads(pk_blob))
+    """Executor initializer: unpickle keys and templates exactly once.
+
+    The blob carries the parent's registered proving keys plus its compiled
+    constraint-template state (:func:`repro.snark.compile.export_state`), so
+    workers start with every template the parent already compiled — each
+    worker compiles a family at most once, and only for shapes the parent
+    has not seen.
+    """
+    pks, template_state = pickle.loads(pk_blob)
+    _WORKER_PKS.update(pks)
+    snark_compile.import_state(template_state)
 
 
 def _worker_pk(circuit_id: str, inline_pk: ProvingKey | None) -> ProvingKey:
@@ -114,6 +124,8 @@ class PoolStats:
     serialization_seconds: float = 0.0
     #: Worker-side time spent inside ``prove_with_stats``.
     synthesis_seconds: float = 0.0
+    #: Jobs whose synthesis ran through a cached constraint template.
+    template_hits: int = 0
     #: Why the pool (if ever) degraded to serial proving.
     fallback_reason: str = ""
 
@@ -138,6 +150,7 @@ class PoolStats:
             "chunks": self.chunks,
             "serialization_seconds": self.serialization_seconds,
             "synthesis_seconds": self.synthesis_seconds,
+            "template_hits": self.template_hits,
             "fallback_reason": self.fallback_reason,
         }
 
@@ -199,7 +212,10 @@ class ProverPool:
         if self._executor is None:
             try:
                 started = time.perf_counter()
-                blob = pickle.dumps(self._pks, protocol=pickle.HIGHEST_PROTOCOL)
+                blob = pickle.dumps(
+                    (self._pks, snark_compile.export_state()),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
                 self.stats.serialization_seconds += time.perf_counter() - started
                 self._executor = ProcessPoolExecutor(
                     max_workers=self.workers,
@@ -246,6 +262,7 @@ class ProverPool:
             self.stats.tasks += 1
             _POOL_TASKS.inc()
             self.stats.synthesis_seconds += result.prove_seconds
+            self.stats.template_hits += result.via_template
             results.append(result)
         return results
 
@@ -284,6 +301,7 @@ class ProverPool:
                 chunk_results = future.result()
                 for result in chunk_results:
                     self.stats.synthesis_seconds += result.prove_seconds
+                    self.stats.template_hits += result.via_template
                 results.extend(chunk_results)
             return results
         except UnsatisfiedConstraint:
@@ -334,4 +352,5 @@ class ProverPool:
         result = future.result()
         if not getattr(future, "_repro_serial", False):
             self.stats.synthesis_seconds += result.prove_seconds
+            self.stats.template_hits += result.via_template
         return result

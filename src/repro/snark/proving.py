@@ -41,7 +41,8 @@ from typing import Any, Sequence
 
 from repro.crypto.field import MODULUS
 from repro.errors import SnarkError, VerificationFailure
-from repro.snark.circuit import Circuit, CircuitBuilder, _validate_publics
+from repro.snark import compile as snark_compile
+from repro.snark.circuit import Circuit
 from repro.snark.r1cs import R1CSStats
 
 #: Constant size, in bytes, of every proof produced by this system.
@@ -128,11 +129,19 @@ class Proof:
 
 @dataclass(frozen=True)
 class ProveResult:
-    """A proof together with the statistics of the synthesis that produced it."""
+    """A proof together with the statistics of the synthesis that produced it.
+
+    ``via_template`` records whether the synthesis ran through a cached
+    constraint template (:mod:`repro.snark.compile`) rather than the full
+    eager builder; it travels with the result across process boundaries, so
+    pool-dispatched proofs are attributable even though the template-cache
+    counters live per worker process.
+    """
 
     proof: Proof
     stats: R1CSStats
     prove_seconds: float
+    via_template: bool = False
 
 
 def setup(circuit: Circuit) -> tuple[ProvingKey, VerifyingKey]:
@@ -179,14 +188,16 @@ def prove_with_stats(
 ) -> ProveResult:
     """Like :func:`prove` but also returns synthesis statistics and timing."""
     started = time.perf_counter()
-    builder = CircuitBuilder()
-    pk.circuit.synthesize(builder, public_input, witness)
-    _validate_publics(builder, public_input)
-    stats = builder.stats()
+    stats, via_template = snark_compile.synthesize_for_proof(
+        pk.circuit, public_input, witness
+    )
     tag = _binding_tag(pk.verifying_key, _digest_public_input(public_input))
     proof = Proof(data=pk.verifying_key.key_id + tag)
     return ProveResult(
-        proof=proof, stats=stats, prove_seconds=time.perf_counter() - started
+        proof=proof,
+        stats=stats,
+        prove_seconds=time.perf_counter() - started,
+        via_template=via_template,
     )
 
 

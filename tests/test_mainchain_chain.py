@@ -259,6 +259,20 @@ class TestForkChoiceAndReorg:
         assert chain.state_at(a1.hash).utxos.balance_of(keys["alice"].address) > 0
         assert chain.state_at(b1.hash).utxos.balance_of(keys["alice"].address) == 0
 
+    def test_state_at_returns_defensive_copy(self, keys):
+        chain = Blockchain(PARAMS)
+        a1 = make_block(chain.genesis, miner_addr=keys["alice"].address, ts=1)
+        chain.add_block(a1)
+        snapshot = chain.state_at(a1.hash)
+        balance = snapshot.utxos.balance_of(keys["alice"].address)
+        assert balance > 0
+        # mutating the returned state must not corrupt the recorded branch
+        for outpoint, _coin in snapshot.utxos.coins_of(keys["alice"].address):
+            snapshot.utxos.spend(outpoint)
+        assert snapshot.utxos.balance_of(keys["alice"].address) == 0
+        fresh = chain.state_at(a1.hash)
+        assert fresh.utxos.balance_of(keys["alice"].address) == balance
+
     def test_active_chain_listing(self):
         chain = Blockchain(PARAMS)
         b1 = make_block(chain.genesis)

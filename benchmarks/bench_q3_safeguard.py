@@ -50,7 +50,6 @@ class TestQ3Safeguard:
         """End-to-end: a certificate trying to withdraw more than the
         sidechain balance is rejected by the chain, and the MC total supply
         follows only coinbase issuance."""
-        from tests.test_cctp import make_cert
         from repro.mainchain.transaction import CertificateTx
         from repro.scenarios import ZendooHarness
         from repro.crypto.keys import KeyPair

@@ -61,7 +61,7 @@ class TestQ4CeasingAndCsw:
         benchmark.pedantic(submit_and_mine, iterations=1, rounds=1)
         assert harness.mc.state.utxos.balance_of(dest.address) == 50_000
         # the nullifier blocks any replay
-        from tests.test_adversarial import try_connect, _View  # noqa: F401
+        from tests.test_adversarial import try_connect
         from repro.mainchain.transaction import CswTx
 
         assert try_connect(harness, CswTx(csw=csw)) is not None

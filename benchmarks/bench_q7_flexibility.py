@@ -11,7 +11,6 @@ whole point of pushing work behind the SNARK interface.
 import pytest
 
 from repro.core.transfers import WithdrawalCertificate
-from repro.crypto.keys import KeyPair
 from repro.federated import (
     FederatedWCertCircuit,
     FederatedWCertWitness,

@@ -25,7 +25,7 @@ network layers reported, the ``epoch/prove`` span exists, the JSON and
 Prometheus exporters agree on every series, and disabling the registry
 does not slow the Merkle hot path down.
 
-Finally it runs a template-cache workload (repeated same-family base
+It then runs a template-cache workload (repeated same-family base
 proofs, eager synthesis vs the constraint-template fast path of
 ``repro.snark.compile``) recorded to ``BENCH_pr4.json``, gating on
 byte-identical proofs and identical R1CS stats across the two paths, zero
@@ -33,9 +33,16 @@ structural-guard fallbacks for the stock family, and a ≥2x steady-state
 speedup (the repetition count adapts to the machine so the timed loops are
 long enough to be stable).
 
+Finally it runs a chaos workload (a three-node deployment driven through a
+seeded :class:`~repro.network.FaultPlan` with drops, duplicates, reorders,
+a scheduled partition and one crash/restart — twice) recorded to
+``BENCH_pr5.json``, gating on post-healing convergence, faults actually
+firing, the crashed node recovering, and the two runs producing
+byte-identical fault schedules and identical final (height, digest).
+
 Intended as a cheap CI gate for the MiMC/Merkle, prover performance,
-observability and template-cache layers (see docs/PERFORMANCE.md and
-docs/OBSERVABILITY.md).
+observability, template-cache and robustness layers (see
+docs/PERFORMANCE.md, docs/OBSERVABILITY.md and docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
@@ -67,6 +74,7 @@ DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_pr1.json"
 DEFAULT_OUT_PR2 = Path(__file__).resolve().parent.parent / "BENCH_pr2.json"
 DEFAULT_OUT_PR3 = Path(__file__).resolve().parent.parent / "BENCH_pr3.json"
 DEFAULT_OUT_PR4 = Path(__file__).resolve().parent.parent / "BENCH_pr4.json"
+DEFAULT_OUT_PR5 = Path(__file__).resolve().parent.parent / "BENCH_pr5.json"
 
 _MIMC_COUNTERS = {
     "compressions": "repro_mimc_compressions_total",
@@ -388,6 +396,116 @@ def run_template_workload() -> dict:
     }
 
 
+def _chaos_once():
+    """One deterministic chaos run on a fresh three-node deployment."""
+    from repro.latus.params import LatusParams
+    from repro.mainchain.node import MainchainNode
+    from repro.mainchain.params import MainchainParams
+    from repro.mainchain.transaction import SidechainDeclarationTx
+    from repro.network import FaultPlan, partition
+    from repro.scenarios import MultiNodeDeployment, latus_sidechain_config
+
+    miner = KeyPair.from_seed("bench-chaos/miner")
+    creator = KeyPair.from_seed("bench-chaos/creator")
+    stakers = [KeyPair.from_seed(f"bench-chaos/staker-{i}") for i in range(2)]
+    mc = MainchainNode(MainchainParams(pow_zero_bits=2, coinbase_maturity=1))
+    mc.mine_blocks(miner.address, 2)
+    config = latus_sidechain_config(
+        "bench-chaos", start_block=mc.height + 2, epoch_len=4, submit_len=2
+    )
+    mc.submit_transaction(SidechainDeclarationTx(config=config))
+    mc.mine_block(miner.address)
+    deployment = MultiNodeDeployment(
+        config=config,
+        params=LatusParams(mst_depth=10, slots_per_epoch=6),
+        mc_node=mc,
+        creator=creator,
+        stakeholders=stakers,
+    )
+    plan = FaultPlan(
+        seed=b"bench-chaos",
+        drop_rate=0.05,
+        duplicate_rate=0.05,
+        reorder_rate=0.1,
+        spike_rate=0.05,
+        partitions=(
+            partition(
+                [("creator", "node-0"), ("node-1",)], from_t=2.0, until_t=5.0
+            ),
+        ),
+    )
+    try:
+        return deployment.run_chaos(
+            miner.address,
+            rounds=8,
+            plan=plan,
+            crash_at={2: ["node-1"]},
+            restart_at={5: ["node-1"]},
+        )
+    finally:
+        deployment.close()
+
+
+def run_chaos_workload() -> dict:
+    """The seeded chaos run, executed twice to gate on reproducibility."""
+    import hashlib
+
+    start = time.perf_counter()
+    first = _chaos_once()
+    first_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    second = _chaos_once()
+    second_wall = time.perf_counter() - start
+
+    def _summary(report, wall):
+        return {
+            "wall_s": wall,
+            "sc_blocks_forged": report.sc_blocks_forged,
+            "delivered": report.delivered,
+            "dropped": report.dropped,
+            "handler_errors": report.handler_errors,
+            "crashes": report.crashes,
+            "restarts": report.restarts,
+            "resyncs": report.resyncs,
+            "reference": report.reference,
+            "final_height": report.final_height,
+            "fault_counts": report.fault_counts,
+            "schedule_sha256": hashlib.sha256(report.fault_schedule).hexdigest(),
+        }
+
+    return {
+        "workload": (
+            "8-round 3-node chaos (5% drop, dups, reorder, partition, one "
+            "crash/restart), seeded and run twice"
+        ),
+        "first": _summary(first, first_wall),
+        "second": _summary(second, second_wall),
+        "converged": first.converged and second.converged,
+        "faults_fired": len(first.fault_schedule) > 0,
+        "partition_fired": first.fault_counts.get("partition", 0) > 0,
+        "crash_recovered": first.crashes == 1 and first.restarts >= 1,
+        "schedules_identical": first.fault_schedule == second.fault_schedule,
+        "outcomes_identical": (
+            (first.final_height, first.final_digest)
+            == (second.final_height, second.final_digest)
+        ),
+    }
+
+
+def chaos_checks(chaos: dict) -> dict:
+    """The BENCH_pr5 gate: survive the faults, reproduce them exactly."""
+    return {
+        "chaos_converged": chaos["converged"],
+        "chaos_faults_fired": chaos["faults_fired"],
+        "chaos_partition_fired": chaos["partition_fired"],
+        "chaos_crash_recovered": chaos["crash_recovered"],
+        # acceptance target: same seed -> byte-identical fault schedule and
+        # the same final chain on both runs
+        "chaos_schedule_reproducible": chaos["schedules_identical"],
+        "chaos_outcome_reproducible": chaos["outcomes_identical"],
+    }
+
+
 def template_checks(tpl: dict) -> dict:
     """The BENCH_pr4 gate: equivalence always, speedup on the steady state."""
     return {
@@ -461,8 +579,14 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_OUT_PR4,
         help="output JSON path for the template-cache workload",
     )
+    parser.add_argument(
+        "--out-pr5",
+        type=Path,
+        default=DEFAULT_OUT_PR5,
+        help="output JSON path for the chaos/fault-injection workload",
+    )
     args = parser.parse_args(argv)
-    for out in (args.out, args.out_pr2, args.out_pr3, args.out_pr4):
+    for out in (args.out, args.out_pr2, args.out_pr3, args.out_pr4, args.out_pr5):
         if not out.parent.is_dir():
             parser.error(f"output directory does not exist: {out.parent}")
 
@@ -521,6 +645,16 @@ def main(argv: list[str] | None = None) -> int:
     }
     args.out_pr4.write_text(json.dumps(pr4_report, indent=2) + "\n")
 
+    chaos = run_chaos_workload()
+    pr5_checks = chaos_checks(chaos)
+    pr5_report = {
+        "suite": "fault injection and crash recovery smoke (PR 5)",
+        "workloads": {"chaos": chaos},
+        "checks": pr5_checks,
+        "ok": all(pr5_checks.values()),
+    }
+    args.out_pr5.write_text(json.dumps(pr5_report, indent=2) + "\n")
+
     for name, result in report["workloads"].items():
         print(
             f"{name}: sequential {result['sequential']['wall_s']:.3f}s "
@@ -560,11 +694,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     for name, passed in pr4_checks.items():
         print(f"  check {name}: {'ok' if passed else 'FAIL'}")
+    first = chaos["first"]
     print(
-        f"wrote {args.out}, {args.out_pr2}, {args.out_pr3} and {args.out_pr4}"
+        f"chaos: {first['sc_blocks_forged']} SC blocks under "
+        f"{first['dropped']} dropped / {first['delivered']} delivered "
+        f"messages, {first['crashes']} crash, {first['restarts']} restarts, "
+        f"{first['resyncs']} resyncs — converged at height "
+        f"{first['final_height']} on {first['reference']} "
+        f"({first['wall_s']:.3f}s per run)"
+    )
+    for name, passed in pr5_checks.items():
+        print(f"  check {name}: {'ok' if passed else 'FAIL'}")
+    print(
+        f"wrote {args.out}, {args.out_pr2}, {args.out_pr3}, {args.out_pr4} "
+        f"and {args.out_pr5}"
     )
     return 0 if all(
-        r["ok"] for r in (report, pr2_report, pr3_report, pr4_report)
+        r["ok"] for r in (report, pr2_report, pr3_report, pr4_report, pr5_report)
     ) else 1
 
 

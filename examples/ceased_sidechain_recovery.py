@@ -21,7 +21,6 @@ from repro.core.cctp import SidechainStatus
 from repro.crypto import KeyPair
 from repro.errors import ZendooError
 from repro.latus.mst_delta import verify_unspent_across_epochs
-from repro.mainchain.transaction import CswTx
 from repro.scenarios import ZendooHarness
 
 

@@ -11,7 +11,6 @@ submission").
 Run:  python examples/certificate_latency_study.py
 """
 
-from repro.core.cctp import SidechainStatus
 from repro.mainchain.transaction import CertificateTx
 from repro.network import LatencyModel, NetworkSimulator
 from repro.scenarios import ZendooHarness

@@ -184,5 +184,13 @@ class ConsensusError(LatusError):
     """A sidechain block violated the consensus rules (slot leader, binding)."""
 
 
+class NodeCrashed(LatusError):
+    """The operation needs a running node but this one has crashed.
+
+    Raised by :class:`~repro.latus.node.LatusNode` APIs between a
+    :meth:`~repro.latus.node.LatusNode.crash` and the matching
+    :meth:`~repro.latus.node.LatusNode.restart`."""
+
+
 class ForgingError(LatusError):
     """A block could not be forged (not leader, no parent, ...)."""

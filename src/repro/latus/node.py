@@ -32,7 +32,14 @@ from repro import observability
 from repro.core.bootstrap import SidechainConfig
 from repro.core.transfers import WithdrawalCertificate
 from repro.crypto.keys import KeyPair, address_of
-from repro.errors import ConsensusError, ForgingError, StateTransitionError, ZendooError
+from repro.errors import (
+    ConsensusError,
+    ForgingError,
+    NodeCrashed,
+    StateTransitionError,
+    UnknownBlock,
+    ZendooError,
+)
 from repro.latus.block import SidechainBlock, forge_block
 from repro.latus.consensus.ouroboros import (
     LeaderSchedule,
@@ -71,6 +78,22 @@ _BLOCKS_RECEIVED = _REGISTRY.counter(
 _CERTIFICATES_BUILT = _REGISTRY.counter(
     "repro_latus_certificates_built_total",
     "withdrawal certificates built at epoch close",
+).labels()
+_NODE_CRASHES = _REGISTRY.counter(
+    "repro_node_crashes_total",
+    "simulated LatusNode crashes (in-flight state dropped)",
+).labels()
+_NODE_RESTARTS = _REGISTRY.counter(
+    "repro_node_restarts_total",
+    "LatusNode restarts (chain state rebuilt from genesis)",
+).labels()
+_NODE_SYNC_RETRIES = _REGISTRY.counter(
+    "repro_node_sync_retries_total",
+    "sync_from attempts retried after a recoverable failure",
+).labels()
+_NODE_RESYNCS = _REGISTRY.counter(
+    "repro_node_resyncs_total",
+    "successful peer resyncs (sync_from adoptions)",
 ).labels()
 
 
@@ -162,6 +185,14 @@ class LatusNode:
         #: diagnostics, tests and benchmarks; never sent to the MC).
         self.last_wcert_witness: WCertWitness | None = None
 
+        #: True between :meth:`crash` and :meth:`restart`; chain-mutating
+        #: APIs refuse to run while set.
+        self.crashed = False
+        #: Lifetime restart count (diagnostics; survives restarts).
+        self.restarts = 0
+        #: Simulated seconds spent backing off inside :meth:`sync_from`.
+        self.backoff_seconds = 0.0
+
         self._reset_chain_state()
 
     # -- chain state (rebuilt wholesale on MC reorgs) ---------------------------------
@@ -200,6 +231,79 @@ class LatusNode:
         """Release prover-side resources (the proving worker pool, if any)."""
         self.prover.close()
 
+    # -- crash / restart / recovery ----------------------------------------------------
+
+    def _require_running(self) -> None:
+        if self.crashed:
+            raise NodeCrashed("node has crashed; call restart() first")
+
+    def crash(self) -> None:
+        """Simulate an abrupt process death.
+
+        All in-flight state (the un-forged MC reference queue) is dropped on
+        the floor, mirroring a real crash losing everything not yet durably
+        applied; chain-mutating APIs raise :class:`~repro.errors.NodeCrashed`
+        until :meth:`restart`.  Idempotent.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.mc_queue = []
+        _NODE_CRASHES.inc()
+
+    def restart(self) -> None:
+        """Come back up with an empty chain, ready to resync.
+
+        The node rebuilds from genesis — crash recovery in this
+        reproduction is a pure replay (the paper's determinism property):
+        either :meth:`sync` re-derives the chain from the mainchain alone,
+        or :meth:`sync_from` adopts and fully re-validates a peer's history.
+        Wallet-submitted transactions survive (:attr:`submitted_txs` models
+        the durable mempool); everything else is rebuilt.
+        """
+        self.crashed = False
+        self.restarts += 1
+        self._reset_chain_state()
+        _NODE_RESTARTS.inc()
+
+    def sync_from(
+        self,
+        peer: "LatusNode",
+        max_retries: int = 5,
+        base_backoff: float = 0.05,
+    ) -> int:
+        """Adopt a peer's chain after a restart; returns blocks adopted.
+
+        Every peer block passes the full :meth:`receive_block` validation,
+        so a malicious peer cannot smuggle an invalid history in.  Attempts
+        that fail recoverably — missing MC ancestors because this node's
+        mainchain view lags the peer's, or a history that does not connect
+        yet — are retried up to ``max_retries`` times with exponential
+        backoff (simulated seconds accumulated on :attr:`backoff_seconds`
+        and counted on ``repro_node_sync_retries_total``); the MC view is
+        re-read before each attempt, which is the catch-up path.
+        """
+        self._require_running()
+        delay = base_backoff
+        last_error: Exception | None = None
+        for attempt in range(max_retries + 1):
+            if attempt:
+                _NODE_SYNC_RETRIES.inc()
+                self.backoff_seconds += delay
+                delay *= 2
+            try:
+                self._reset_chain_state()
+                self.bootstrap_from(list(peer.blocks))
+            except (ConsensusError, UnknownBlock) as exc:
+                last_error = exc
+                continue
+            _NODE_RESYNCS.inc()
+            return len(self.blocks)
+        self._reset_chain_state()
+        raise ConsensusError(
+            f"sync_from failed after {max_retries} retries: {last_error}"
+        )
+
     def add_forger(self, keypair: KeyPair) -> None:
         """Register a stakeholder key this node may forge with.
 
@@ -211,6 +315,7 @@ class LatusNode:
 
     def submit_transaction(self, tx: LatusTransaction) -> None:
         """Queue a wallet transaction for inclusion."""
+        self._require_running()
         if isinstance(tx, (ForwardTransfersTx, BackwardTransferRequestsTx)):
             raise ConsensusError(
                 "FTTx/BTRTx are MC-defined; they cannot be submitted directly"
@@ -230,6 +335,7 @@ class LatusNode:
         below the fork point is restored from snapshots so it keeps
         matching certificates the MC already adopted.
         """
+        self._require_running()
         divergence = self._find_divergence()
         if divergence is not None:
             self._rollback_before(divergence)
@@ -559,6 +665,7 @@ class LatusNode:
         order; full SC fork choice is in
         :mod:`repro.latus.consensus.fork_choice`).
         """
+        self._require_running()
         if block.parent_hash != self.tip_hash:
             raise ConsensusError("block does not extend the local tip")
         if block.height != self.height + 1:

@@ -40,7 +40,7 @@ from repro.latus.state import LatusState
 from repro.snark import proving
 from repro.snark.circuit import Circuit, CircuitBuilder
 from repro.snark.gadgets.mimc import mimc_hash_gadget
-from repro.snark.proving import ProvingKey, VerifyingKey
+from repro.snark.proving import ProvingKey
 from repro.snark.recursive import CompositionStats, TransitionProof
 
 

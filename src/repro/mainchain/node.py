@@ -11,7 +11,7 @@ work.
 from __future__ import annotations
 
 from repro import observability
-from repro.errors import ValidationError, ZendooError
+from repro.errors import ZendooError
 from repro.mainchain.block import Block, BlockHeader, transactions_merkle_root
 from repro.mainchain.chain import Blockchain, MainchainState
 from repro.mainchain.mempool import Mempool

@@ -15,7 +15,7 @@ signatures; inputs sign that digest so ids are signature-independent.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 
 from repro.core.bootstrap import SidechainConfig

@@ -1,5 +1,27 @@
 """Deterministic discrete-event network simulation substrate."""
 
-from repro.network.simulator import LatencyModel, NetworkSimulator
+from repro.network.faults import (
+    CLEAN,
+    FaultDecision,
+    FaultPlan,
+    Partition,
+    partition,
+)
+from repro.network.simulator import (
+    NEVER,
+    HandlerError,
+    LatencyModel,
+    NetworkSimulator,
+)
 
-__all__ = ["LatencyModel", "NetworkSimulator"]
+__all__ = [
+    "CLEAN",
+    "FaultDecision",
+    "FaultPlan",
+    "HandlerError",
+    "LatencyModel",
+    "NEVER",
+    "NetworkSimulator",
+    "Partition",
+    "partition",
+]

@@ -1,0 +1,195 @@
+"""Deterministic, seeded fault injection for the network simulator.
+
+The paper's robustness claims (Δ-synchrony of §5.2, ceasing when
+certificates miss their submission window, recovery after partition) are
+only meaningful against an imperfect network.  :class:`FaultPlan` supplies
+that imperfection *deterministically*: every decision — drop, duplicate,
+reorder (extra jitter), delay spike — is derived by hashing
+``(seed, src, dst, n)`` exactly like
+:class:`~repro.network.simulator.LatencyModel` derives latencies, so the
+same seed reproduces a byte-identical fault schedule on every run, with no
+global RNG involved.
+
+Scheduled partitions are explicit, not sampled: :func:`partition` severs
+every link crossing its group boundary for a closed interval of simulated
+time, and heals automatically when the clock passes ``until_t``.
+
+The simulator accounts every fired fault on
+``repro_network_faults_total{kind}`` and every fault-induced drop on
+``repro_network_dropped_total{reason="fault"}`` (see
+``docs/ROBUSTNESS.md`` and ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.hashing import hash_bytes
+from repro.errors import NetworkError
+
+#: Fraction granularity: each fault kind consumes a 6-byte slice of the
+#: 32-byte link digest, so one hash funds all five decision draws.
+_SLICE = 6
+_DENOM = float(1 << (8 * _SLICE))
+
+
+def _fractions(seed: bytes, src: str, dst: str, n: int) -> tuple[float, ...]:
+    """Five independent uniform draws for the ``n``-th message on a link."""
+    material = seed + src.encode() + b"->" + dst.encode() + n.to_bytes(8, "little")
+    digest = hash_bytes(material, b"net/fault")
+    return tuple(
+        int.from_bytes(digest[i * _SLICE : (i + 1) * _SLICE], "little") / _DENOM
+        for i in range(5)
+    )
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A scheduled network partition: groups cannot talk across the split.
+
+    A link is severed while ``from_t <= now < until_t`` iff its endpoints
+    sit in *different* groups.  Nodes not named in any group are unaffected
+    (they keep talking to everyone), which lets a plan isolate a subset
+    without enumerating the whole deployment.
+    """
+
+    groups: tuple[frozenset[str], ...]
+    from_t: float
+    until_t: float
+
+    def __post_init__(self) -> None:
+        if self.until_t < self.from_t:
+            raise NetworkError("partition heals before it starts")
+
+    def _group_of(self, name: str) -> int | None:
+        for i, group in enumerate(self.groups):
+            if name in group:
+                return i
+        return None
+
+    def severs(self, src: str, dst: str, now: float) -> bool:
+        """True when this partition blocks ``src -> dst`` at time ``now``."""
+        if not self.from_t <= now < self.until_t:
+            return False
+        a, b = self._group_of(src), self._group_of(dst)
+        return a is not None and b is not None and a != b
+
+
+def partition(
+    groups: tuple[tuple[str, ...] | frozenset[str], ...] | list,
+    from_t: float,
+    until_t: float,
+) -> Partition:
+    """Build a :class:`Partition` from plain name tuples."""
+    return Partition(
+        groups=tuple(frozenset(group) for group in groups),
+        from_t=from_t,
+        until_t=until_t,
+    )
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the plan decided for one scheduled message."""
+
+    #: False when the message is lost (sampled drop or partition).
+    deliver: bool
+    #: Total deliveries when not dropped (2 when duplicated).
+    copies: int
+    #: Extra latency added on top of the link sample (reorder + spike).
+    extra_delay: float
+    #: The fault kinds that fired, in evaluation order.
+    kinds: tuple[str, ...]
+
+    def encode(self) -> bytes:
+        """A canonical byte form (the schedule-reproducibility unit)."""
+        return (
+            f"{int(self.deliver)}|{self.copies}|{self.extra_delay!r}|"
+            f"{','.join(self.kinds)}".encode()
+        )
+
+
+#: The decision for a message no plan touches.
+CLEAN = FaultDecision(deliver=True, copies=1, extra_delay=0.0, kinds=())
+
+
+@dataclass
+class FaultPlan:
+    """A seeded recipe of network misbehaviour.
+
+    Rates are per-message probabilities in ``[0, 1]``; ``link_drop`` maps a
+    specific ``(src, dst)`` link to a drop rate overriding the global one
+    (the per-link knob of adversarial targeting).  ``reorder_jitter`` is the
+    *maximum* extra delay a reordered message picks up (the actual amount is
+    a further deterministic draw), ``spike_delay`` is the fixed extra delay
+    of a delay spike.  All sampling state is a per-link message counter, so
+    two identically seeded plans replaying the same message sequence make
+    byte-identical decisions.
+    """
+
+    seed: bytes = b"faults"
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_jitter: float = 0.5
+    spike_rate: float = 0.0
+    spike_delay: float = 2.0
+    partitions: tuple[Partition, ...] = ()
+    link_drop: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.partitions = tuple(self.partitions)
+        for name in ("drop_rate", "duplicate_rate", "reorder_rate", "spike_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise NetworkError(f"{name} must be within [0, 1], got {rate}")
+        self._counters: dict[tuple[str, str], int] = {}
+
+    # -- schedule ------------------------------------------------------------------
+
+    @property
+    def healed_at(self) -> float:
+        """The time every scheduled partition has healed by."""
+        return max((p.until_t for p in self.partitions), default=0.0)
+
+    def severed(self, src: str, dst: str, now: float) -> bool:
+        """True when any scheduled partition blocks the link at ``now``."""
+        return any(p.severs(src, dst, now) for p in self.partitions)
+
+    def decide(self, src: str, dst: str, now: float) -> FaultDecision:
+        """The deterministic fault decision for the next message on a link.
+
+        Advances the link's message counter (mirroring
+        :meth:`LatencyModel.sample`), so decisions depend only on the seed
+        and the per-link message ordinal — never on wall time or global RNG.
+        """
+        n = self._counters.get((src, dst), 0)
+        self._counters[(src, dst)] = n + 1
+        if self.severed(src, dst, now):
+            return FaultDecision(
+                deliver=False, copies=0, extra_delay=0.0, kinds=("partition",)
+            )
+        f_drop, f_dup, f_reorder, f_jitter, f_spike = _fractions(
+            self.seed, src, dst, n
+        )
+        if f_drop < self.link_drop.get((src, dst), self.drop_rate):
+            return FaultDecision(
+                deliver=False, copies=0, extra_delay=0.0, kinds=("drop",)
+            )
+        kinds: list[str] = []
+        copies = 1
+        extra = 0.0
+        if f_dup < self.duplicate_rate:
+            copies = 2
+            kinds.append("duplicate")
+        if f_reorder < self.reorder_rate:
+            extra += self.reorder_jitter * f_jitter
+            kinds.append("reorder")
+        if f_spike < self.spike_rate:
+            extra += self.spike_delay
+            kinds.append("delay_spike")
+        if not kinds:
+            return CLEAN
+        return FaultDecision(
+            deliver=True, copies=copies, extra_delay=extra, kinds=tuple(kinds)
+        )

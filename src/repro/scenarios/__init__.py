@@ -5,11 +5,12 @@ from repro.scenarios.harness import (
     ZendooHarness,
     latus_sidechain_config,
 )
-from repro.scenarios.multi_node import MultiNodeDeployment
+from repro.scenarios.multi_node import ChaosReport, MultiNodeDeployment
 from repro.scenarios.workload import Account, PaymentWorkload, make_accounts
 
 __all__ = [
     "Account",
+    "ChaosReport",
     "MultiNodeDeployment",
     "PaymentWorkload",
     "SidechainHandle",

@@ -106,6 +106,7 @@ class ZendooHarness:
         miner_seed: str = "harness-miner",
         network: NetworkSimulator | None = None,
         use_network: bool = True,
+        block_interval: float = 1.0,
     ) -> None:
         self.mc = MainchainNode(mc_params or MainchainParams(pow_zero_bits=4, coinbase_maturity=1))
         self.miner = KeyPair.from_seed(miner_seed)
@@ -117,6 +118,9 @@ class ZendooHarness:
         self.network: NetworkSimulator | None = (
             (network or NetworkSimulator()) if use_network else None
         )
+        #: Simulated seconds of clock advanced per MC block mined — the
+        #: timescale fault-plan partition windows are expressed in.
+        self.block_interval = block_interval
         if self.network is not None:
             self.network.register("mc", lambda src, msg: None)
 
@@ -171,15 +175,20 @@ class ZendooHarness:
 
         With the network enabled each new block is announced to the
         sidechain observers through the simulator (per-link latencies, one
-        delivery event per observer) and the queue is drained; sync order
-        across sidechains is latency-determined but each node's sync is
+        delivery event per observer) and the clock is advanced by
+        :attr:`block_interval` simulated seconds; sync order across
+        sidechains is latency-determined but each node's sync is
         independent, so the resulting states are identical to direct sync.
+        Under a fault plan a dropped or severed announcement means the
+        observer simply does not sync that round — the liveness failure the
+        ceasing scenarios depend on.
         """
         for _ in range(blocks):
             block = self.mc.mine_block(self.miner.address)
-            if self.network is not None and self.sidechains:
-                self.network.broadcast("mc", ("mc-block", block.height))
-                self.network.run()
+            if self.network is not None:
+                if self.sidechains:
+                    self.network.broadcast("mc", ("mc-block", block.height))
+                self.network.advance(self.block_interval)
             else:
                 for handle in self.sidechains.values():
                     handle.node.sync()

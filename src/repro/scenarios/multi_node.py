@@ -15,6 +15,8 @@ the MC block and the state, §5.3).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from repro import observability
 from repro.core.bootstrap import SidechainConfig
 from repro.crypto.keys import KeyPair
@@ -22,6 +24,38 @@ from repro.errors import ConsensusError
 from repro.latus.node import LatusNode
 from repro.latus.params import LatusParams
 from repro.mainchain.node import MainchainNode
+from repro.network.faults import FaultPlan
+from repro.network.simulator import LatencyModel, NetworkSimulator
+
+
+@dataclass
+class ChaosReport:
+    """What one :meth:`MultiNodeDeployment.run_chaos` run did and survived."""
+
+    rounds: int
+    #: Sidechain blocks forged across the run (pre-reconciliation).
+    sc_blocks_forged: int
+    #: Simulator events delivered (includes duplicates).
+    delivered: int
+    #: Fault-injected message losses (drops + partition severs).
+    dropped: int
+    #: Deliveries whose handler raised (stale/duplicate/forked blocks the
+    #: receiving node rejected — expected noise under chaos).
+    handler_errors: int
+    #: Crash / restart / resync events executed by the schedule + healing.
+    crashes: int = 0
+    restarts: int = 0
+    resyncs: int = 0
+    #: Node whose chain everyone converged onto.
+    reference: str = ""
+    #: Canonical byte encoding of every fault fired (seed-reproducible).
+    fault_schedule: bytes = b""
+    #: Post-healing agreement: identical (height, tip, state digest).
+    final_height: int = -1
+    final_digest: int = 0
+    converged: bool = False
+    #: Per-kind fault counts, e.g. ``{"drop": 3, "partition": 7}``.
+    fault_counts: dict[str, int] = field(default_factory=dict)
 
 
 class MultiNodeDeployment:
@@ -38,6 +72,7 @@ class MultiNodeDeployment:
         proving_workers: int | None = None,
     ) -> None:
         self.mc = mc_node
+        self.config = config
         self.stakeholders = stakeholders
         self.nodes: dict[str, LatusNode] = {}
         # the creator's node also forges bootstrap slots
@@ -82,6 +117,160 @@ class MultiNodeDeployment:
     def run(self, miner_addr: bytes, blocks: int) -> int:
         """Drive ``blocks`` MC blocks; returns total SC blocks forged."""
         return sum(self.step(miner_addr) for _ in range(blocks))
+
+    # -- chaos -----------------------------------------------------------------------
+
+    def run_chaos(
+        self,
+        miner_addr: bytes,
+        rounds: int,
+        plan: FaultPlan,
+        crash_at: dict[int, list[str]] | None = None,
+        restart_at: dict[int, list[str]] | None = None,
+        round_duration: float = 1.0,
+        network: NetworkSimulator | None = None,
+    ) -> ChaosReport:
+        """Drive the deployment through ``rounds`` MC blocks under faults.
+
+        Block gossip goes through a :class:`NetworkSimulator` carrying
+        ``plan``, so announcements can be dropped, duplicated, delayed or
+        severed by scheduled partitions; ``crash_at[r]`` names nodes that
+        crash just before round ``r`` (0-based) and ``restart_at[r]`` nodes
+        that restart then.  Unlike :meth:`step`, divergence *during* the run
+        is expected; once the plan has healed, crashed nodes are restarted
+        and every lagging node resyncs from the best reference chain via
+        :meth:`~repro.latus.node.LatusNode.sync_from`.  Convergence — one
+        tip, one state digest — is asserted at the end and the whole run is
+        summarised in the returned :class:`ChaosReport` (including the
+        byte-exact fault schedule, reproducible from ``plan.seed``).
+        """
+        crash_at = crash_at or {}
+        restart_at = restart_at or {}
+        net = network or NetworkSimulator(
+            latency=LatencyModel(base=0.05, jitter=0.1, seed=plan.seed + b"/lat"),
+            faults=plan,
+        )
+        for name, node in self.nodes.items():
+            net.register(name, self._make_chaos_handler(node))
+
+        crashes = restarts = resyncs = 0
+        forged_total = 0
+        for rnd in range(rounds):
+            for name in crash_at.get(rnd, []):
+                if not self.nodes[name].crashed:
+                    self.nodes[name].crash()
+                    crashes += 1
+            for name in restart_at.get(rnd, []):
+                node = self.nodes[name]
+                if node.crashed:
+                    node.restart()
+                    restarts += 1
+                    resyncs += self._chaos_resync(node)
+            self.mc.mine_block(miner_addr)
+            for name, node in self.nodes.items():
+                if node.crashed:
+                    continue
+                for block in node.sync():
+                    forged_total += 1
+                    net.broadcast(name, ("sc-block", block))
+            net.advance(round_duration)
+
+        # -- heal: clear partitions, drain in-flight traffic, revive nodes
+        if net.clock < plan.healed_at:
+            net.advance(plan.healed_at - net.clock)
+        net.run()
+        for name, node in self.nodes.items():
+            if node.crashed:
+                node.restart()
+                restarts += 1
+
+        # -- reconcile: everyone adopts the best chain
+        reference = self._chaos_reference()
+        ref_node = self.nodes[reference]
+        ref_view = (ref_node.height, ref_node.tip_hash)
+        for name, node in self.nodes.items():
+            if name == reference:
+                continue
+            if (node.height, node.tip_hash) != ref_view:
+                node.sync_from(ref_node)
+                resyncs += 1
+        self.assert_converged()
+
+        counts: dict[str, int] = {}
+        for _, _, _, _, decision in net.fault_log:
+            for kind in decision.kinds:
+                counts[kind] = counts.get(kind, 0) + 1
+        return ChaosReport(
+            rounds=rounds,
+            sc_blocks_forged=forged_total,
+            delivered=net.delivered,
+            dropped=counts.get("drop", 0) + counts.get("partition", 0),
+            handler_errors=len(net.handler_errors),
+            crashes=crashes,
+            restarts=restarts,
+            resyncs=resyncs,
+            reference=reference,
+            fault_schedule=net.fault_schedule(),
+            final_height=ref_node.height,
+            final_digest=ref_node.state.digest(),
+            converged=True,
+            fault_counts=counts,
+        )
+
+    def _make_chaos_handler(self, node: LatusNode):
+        """A network handler feeding gossiped blocks into ``node``.
+
+        Deliveries to a crashed node vanish (that is what crashing means);
+        rejections of stale/duplicate/forked blocks raise out of
+        ``receive_block`` and are captured by the simulator.
+        """
+
+        def handle(src: str, message) -> None:
+            kind, payload = message
+            if kind == "sc-block" and not node.crashed:
+                node.receive_block(payload)
+
+        return handle
+
+    def _chaos_resync(self, node: LatusNode) -> int:
+        """Best-effort mid-run recovery of a freshly restarted node.
+
+        Returns the number of resyncs performed (0 when every peer is down
+        or the reference itself cannot be replayed yet — final healing will
+        retry).
+        """
+        try:
+            node.sync_from(self.nodes[self._chaos_reference(exclude=node)])
+        except ConsensusError:
+            return 0
+        return 1
+
+    def _chaos_reference(self, exclude: LatusNode | None = None) -> str:
+        """The node whose chain the deployment should converge onto.
+
+        Prefers nodes whose local certificate history covers every epoch
+        the mainchain has adopted for this sidechain (their chain can
+        explain the on-MC record), then the longest chain, then the lowest
+        name for determinism.
+        """
+        entry = self.mc.state.cctp.sidechains.get(self.config.ledger_id)
+        adopted = set(entry.certificates) if entry is not None else set()
+        best: tuple[int, int, str] | None = None
+        best_name = ""
+        for name, node in self.nodes.items():
+            if node.crashed or node is exclude:
+                continue
+            covers = int(adopted <= {c.epoch_id for c in node.certificates})
+            score = (covers, node.height, name)
+            # max score wins; min name breaks ties, so invert via comparison
+            if best is None or (score[0], score[1]) > (best[0], best[1]) or (
+                (score[0], score[1]) == (best[0], best[1]) and name < best_name
+            ):
+                best = (score[0], score[1], name)
+                best_name = name
+        if best is None:
+            raise ConsensusError("no running node available as chaos reference")
+        return best_name
 
     # -- assertions ------------------------------------------------------------------
 

@@ -55,7 +55,7 @@ from typing import Any, Iterator, Sequence
 
 from repro import observability
 from repro.crypto.field import MODULUS, inv
-from repro.errors import SynthesisError, UnsatisfiedConstraint
+from repro.errors import SynthesisError
 from repro.snark.circuit import Circuit, CircuitBuilder, _validate_publics
 from repro.snark.r1cs import R1CSStats
 

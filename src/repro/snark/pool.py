@@ -57,6 +57,42 @@ _POOL_FALLBACKS = _REGISTRY.counter(
     "repro_pool_fallbacks_total",
     "times a ProverPool degraded to serial proving",
 ).labels()
+_POOL_RETRIES = _REGISTRY.counter(
+    "repro_pool_retries_total",
+    "dispatches retried after a worker/dispatch failure",
+).labels()
+_POOL_INJECTED = _REGISTRY.counter(
+    "repro_pool_injected_failures_total",
+    "deterministic worker failures injected by a WorkerFaultInjector",
+).labels()
+
+
+class WorkerFaultInjector:
+    """Deterministic, seeded worker-failure injection for :class:`ProverPool`.
+
+    The ``n``-th dispatch fails iff a hash of ``(seed, n)`` lands under
+    ``failure_rate`` — the same derivation style as the network layer's
+    :class:`~repro.network.faults.FaultPlan`, so a seeded chaos run
+    reproduces the exact same pool failures every time.  Failures are
+    injected on the parent side (the dispatch raises before reaching a
+    worker), which exercises the retry/degrade policy without poisoning the
+    executor.
+    """
+
+    def __init__(self, failure_rate: float, seed: bytes = b"pool-faults") -> None:
+        if not 0.0 <= failure_rate <= 1.0:
+            raise SnarkError(f"failure_rate must be within [0, 1], got {failure_rate}")
+        self.failure_rate = failure_rate
+        self.seed = seed
+
+    def should_fail(self, index: int) -> bool:
+        """Whether the ``index``-th dispatch fails (pure in (seed, index))."""
+        from repro.crypto.hashing import hash_bytes
+
+        digest = hash_bytes(
+            self.seed + index.to_bytes(8, "little"), b"pool/fault"
+        )
+        return int.from_bytes(digest[:8], "little") / float(1 << 64) < self.failure_rate
 
 # -- worker side ---------------------------------------------------------------
 
@@ -126,6 +162,10 @@ class PoolStats:
     synthesis_seconds: float = 0.0
     #: Jobs whose synthesis ran through a cached constraint template.
     template_hits: int = 0
+    #: Dispatches retried after a worker/dispatch failure.
+    retries: int = 0
+    #: Failures injected by an attached :class:`WorkerFaultInjector`.
+    injected_failures: int = 0
     #: Why the pool (if ever) degraded to serial proving.
     fallback_reason: str = ""
 
@@ -151,6 +191,8 @@ class PoolStats:
             "serialization_seconds": self.serialization_seconds,
             "synthesis_seconds": self.synthesis_seconds,
             "template_hits": self.template_hits,
+            "retries": self.retries,
+            "injected_failures": self.injected_failures,
             "fallback_reason": self.fallback_reason,
         }
 
@@ -172,11 +214,19 @@ class ProverPool:
         max_workers: int | None = None,
         chunk_size: int | None = None,
         clamp_to_cpus: bool = True,
+        max_dispatch_retries: int = 2,
+        fault_injector: WorkerFaultInjector | None = None,
     ) -> None:
         cpus = os.cpu_count() or 1
         requested = cpus if max_workers is None else max(1, int(max_workers))
         self.workers = min(requested, cpus) if clamp_to_cpus else requested
         self.chunk_size = chunk_size
+        #: How many times one dispatch is retried before the pool degrades
+        #: to serial proving for good.
+        self.max_dispatch_retries = max(0, int(max_dispatch_retries))
+        #: Optional deterministic failure injection (chaos testing).
+        self.fault_injector = fault_injector
+        self._dispatch_index = 0
         self.stats = PoolStats(workers=self.workers, requested_workers=requested)
         self._pks: dict[str, ProvingKey] = {}
         self._late_pks: dict[str, ProvingKey] = {}
@@ -255,6 +305,44 @@ class ProverPool:
         """The key to ship with a payload (None when workers already hold it)."""
         return None if pk.circuit.circuit_id in self._pks else pk
 
+    @staticmethod
+    def _failed_future(exc: Exception) -> Future:
+        future: Future = Future()
+        future.set_exception(exc)
+        return future
+
+    def _inject_failure(self) -> Exception | None:
+        """Consult the fault injector for the next dispatch ordinal."""
+        index = self._dispatch_index
+        self._dispatch_index += 1
+        if self.fault_injector is not None and self.fault_injector.should_fail(index):
+            self.stats.injected_failures += 1
+            _POOL_INJECTED.inc()
+            return SnarkError(f"injected worker failure (dispatch {index})")
+        return None
+
+    def _dispatch(
+        self, executor: ProcessPoolExecutor, fn, cid: str, payload: tuple
+    ) -> Future:
+        """One IPC round; never raises — failures come back as failed futures."""
+        injected = self._inject_failure()
+        if injected is not None:
+            return self._failed_future(injected)
+        try:
+            started = time.perf_counter()
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            self.stats.serialization_seconds += time.perf_counter() - started
+            future = executor.submit(fn, cid, blob)
+        except Exception as exc:  # unpicklable payload, broken executor, ...
+            return self._failed_future(exc)
+        self.stats.chunks += 1
+        _POOL_CHUNKS.inc()
+        return future
+
+    def _count_retry(self) -> None:
+        self.stats.retries += 1
+        _POOL_RETRIES.inc()
+
     def _prove_serial(self, pk: ProvingKey, jobs: Sequence[tuple]) -> list[ProveResult]:
         results = []
         for public, witness in jobs:
@@ -271,8 +359,14 @@ class ProverPool:
     ) -> list[ProveResult]:
         """Prove independent ``(public_input, witness)`` jobs, order-preserving.
 
-        Jobs are chunked so each IPC round amortizes over several syntheses;
-        any failure to dispatch falls back to proving the remainder serially.
+        Jobs are chunked so each IPC round amortizes over several syntheses.
+        Failed chunks — a dying worker, an unpicklable payload, an injected
+        fault — are retried up to ``max_dispatch_retries`` times (counted on
+        ``repro_pool_retries_total``); a chunk that exhausts its retries
+        degrades the pool to serial proving, which finishes it (and every
+        later chunk) in-process with identical results.
+        ``UnsatisfiedConstraint`` is a *proof* failure, never a transport
+        failure, and is always re-raised.
         """
         if not jobs:
             return []
@@ -285,30 +379,61 @@ class ProverPool:
         chunks = [list(jobs[i : i + size]) for i in range(0, len(jobs), size)]
         cid = pk.circuit.circuit_id
         inline = self._inline_pk(pk)
-        try:
-            futures = []
-            for chunk in chunks:
-                started = time.perf_counter()
-                blob = pickle.dumps((inline, chunk), protocol=pickle.HIGHEST_PROTOCOL)
-                self.stats.serialization_seconds += time.perf_counter() - started
-                futures.append(executor.submit(_prove_chunk, cid, blob))
-                self.stats.chunks += 1
-                self.stats.tasks += len(chunk)
-                _POOL_CHUNKS.inc()
-                _POOL_TASKS.inc(len(chunk))
-            results: list[ProveResult] = []
-            for future in futures:
-                chunk_results = future.result()
-                for result in chunk_results:
-                    self.stats.synthesis_seconds += result.prove_seconds
-                    self.stats.template_hits += result.via_template
-                results.extend(chunk_results)
-            return results
-        except UnsatisfiedConstraint:
-            raise
-        except Exception as exc:
-            self._degrade(f"chunked dispatch failed: {exc}")
-            return self._prove_serial(pk, jobs)
+        futures = []
+        for chunk in chunks:
+            futures.append(self._dispatch(executor, _prove_chunk, cid, (inline, chunk)))
+            self.stats.tasks += len(chunk)
+            _POOL_TASKS.inc(len(chunk))
+
+        results: list[ProveResult] = []
+        for chunk, future in zip(chunks, futures):
+            chunk_results = self._await_chunk(executor, cid, inline, chunk, future)
+            if chunk_results is None:  # retries exhausted; pool degraded
+                results.extend(self._prove_serial_results(pk, chunk))
+                continue
+            for result in chunk_results:
+                self.stats.synthesis_seconds += result.prove_seconds
+                self.stats.template_hits += result.via_template
+            results.extend(chunk_results)
+        return results
+
+    def _await_chunk(
+        self,
+        executor: ProcessPoolExecutor,
+        cid: str,
+        inline: ProvingKey | None,
+        chunk: list,
+        future: Future,
+    ) -> list[ProveResult] | None:
+        """Resolve one chunk, retrying on transport failure; None = give up."""
+        if self._serial:
+            return None
+        for attempt in range(self.max_dispatch_retries + 1):
+            try:
+                return future.result()
+            except UnsatisfiedConstraint:
+                raise
+            except Exception as exc:
+                if attempt == self.max_dispatch_retries:
+                    self._degrade(
+                        f"chunk failed after {attempt} retries: {exc}"
+                    )
+                    return None
+                self._count_retry()
+                future = self._dispatch(executor, _prove_chunk, cid, (inline, chunk))
+        return None
+
+    def _prove_serial_results(
+        self, pk: ProvingKey, jobs: Sequence[tuple]
+    ) -> list[ProveResult]:
+        """Serial proving for jobs already counted as dispatched tasks."""
+        results = []
+        for public, witness in jobs:
+            result = proving.prove_with_stats(pk, public, witness)
+            self.stats.synthesis_seconds += result.prove_seconds
+            self.stats.template_hits += result.via_template
+            results.append(result)
+        return results
 
     def submit_prove(
         self, pk: ProvingKey, public_input: Sequence[int], witness: Any
@@ -317,28 +442,30 @@ class ProverPool:
 
         In serial fallback the job is proven immediately and the returned
         future is already resolved (so schedulers built on
-        ``concurrent.futures.wait`` work unchanged).
+        ``concurrent.futures.wait`` work unchanged).  A dispatch that fails
+        (including an injected fault) is retried up to
+        ``max_dispatch_retries`` times before the pool degrades to serial.
         """
         self.register(pk)
         executor = self._ensure_executor()
         if executor is not None:
             cid = pk.circuit.circuit_id
-            try:
-                started = time.perf_counter()
-                blob = pickle.dumps(
-                    (self._inline_pk(pk), tuple(public_input), witness),
-                    protocol=pickle.HIGHEST_PROTOCOL,
-                )
-                self.stats.serialization_seconds += time.perf_counter() - started
-                future = executor.submit(_prove_one, cid, blob)
-                self.stats.chunks += 1
-                self.stats.tasks += 1
-                _POOL_CHUNKS.inc()
-                _POOL_TASKS.inc()
-                return future
-            except Exception as exc:
-                self._degrade(f"single-job dispatch failed: {exc}")
-        future: Future = Future()
+            payload = (self._inline_pk(pk), tuple(public_input), witness)
+            for attempt in range(self.max_dispatch_retries + 1):
+                future = self._dispatch(executor, _prove_one, cid, payload)
+                exc = future.exception() if future.done() else None
+                if exc is None:
+                    self.stats.tasks += 1
+                    _POOL_TASKS.inc()
+                    # remember the job so collect() can re-dispatch if the
+                    # worker dies after submission
+                    future._repro_job = (pk, tuple(public_input), witness)
+                    return future
+                if attempt == self.max_dispatch_retries:
+                    self._degrade(f"single-job dispatch failed: {exc}")
+                    break
+                self._count_retry()
+        future = Future()
         future._repro_serial = True  # accounted at proving time, not collect
         try:
             [result] = self._prove_serial(pk, [(public_input, witness)])
@@ -348,8 +475,30 @@ class ProverPool:
         return future
 
     def collect(self, future: Future) -> ProveResult:
-        """Resolve a future from :meth:`submit_prove`, updating accounting."""
-        result = future.result()
+        """Resolve a future from :meth:`submit_prove`, updating accounting.
+
+        A worker that died *after* accepting the job surfaces here; the job
+        is re-dispatched through :meth:`submit_prove` (whose own retry and
+        degrade policy bounds the recovery), so the merge-tree scheduler
+        never sees a transport failure — only proof failures propagate.
+        """
+        try:
+            result = future.result()
+        except UnsatisfiedConstraint:
+            raise
+        except Exception as exc:
+            job = getattr(future, "_repro_job", None)
+            if job is None:
+                raise
+            depth = getattr(future, "_repro_redispatches", 0)
+            if depth >= self.max_dispatch_retries:
+                self._degrade(f"job failed after {depth} re-dispatches: {exc}")
+            else:
+                self._count_retry()
+            pk, public_input, witness = job
+            retry = self.submit_prove(pk, public_input, witness)
+            retry._repro_redispatches = depth + 1
+            return self.collect(retry)
         if not getattr(future, "_repro_serial", False):
             self.stats.synthesis_seconds += result.prove_seconds
             self.stats.template_hits += result.via_template

@@ -16,7 +16,7 @@ builder), and can optionally be retained for structural inspection.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dataclass_field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from repro.crypto.field import MODULUS

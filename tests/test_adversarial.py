@@ -9,7 +9,7 @@ from dataclasses import replace
 
 import pytest
 
-from repro.core.transfers import BackwardTransfer, WithdrawalCertificate
+from repro.core.transfers import BackwardTransfer
 from repro.crypto.keys import KeyPair
 from repro.errors import ZendooError
 from repro.mainchain.transaction import CertificateTx, CswTx

@@ -53,7 +53,6 @@ class TestViolationDetection:
         assert any("parent link" in v for v in report.violations)
 
     def test_tampered_state_digest(self, history):
-        from dataclasses import replace
 
         harness, sc = history
         blocks = list(sc.node.blocks)

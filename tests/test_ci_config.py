@@ -1,0 +1,81 @@
+"""Dry-parse validation of the CI pipeline definition.
+
+actionlint is not part of the toolchain here, so these tests do the next
+best thing: parse ``.github/workflows/ci.yml`` with PyYAML and assert the
+structural contract the repo relies on — the three gating jobs exist, run
+the documented commands, and the nightly full-suite job stays off the
+push/PR critical path.  The commands themselves are exercised for real by
+the suite (everything ``tests`` runs is this suite; ``bench-smoke`` is
+covered by ``benchmarks/smoke.py``'s own gates).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+WORKFLOW = pathlib.Path(__file__).resolve().parent.parent / ".github/workflows/ci.yml"
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    return yaml.safe_load(WORKFLOW.read_text())
+
+
+def job_commands(job) -> list[str]:
+    return [step["run"] for step in job["steps"] if "run" in step]
+
+
+class TestWorkflowStructure:
+    def test_parses_and_names(self, workflow):
+        assert workflow["name"] == "ci"
+        # PyYAML parses the bare `on:` key as boolean True (YAML 1.1)
+        triggers = workflow.get("on", workflow.get(True))
+        assert "push" in triggers and "pull_request" in triggers
+        assert "schedule" in triggers and "workflow_dispatch" in triggers
+
+    def test_the_three_gating_jobs_exist(self, workflow):
+        assert {"lint", "tests", "bench-smoke"} <= set(workflow["jobs"])
+
+    def test_pythonpath_matches_local_invocation(self, workflow):
+        assert workflow["env"]["PYTHONPATH"] == "src"
+
+    def test_lint_job_commands(self, workflow):
+        commands = job_commands(workflow["jobs"]["lint"])
+        assert any(cmd.startswith("ruff check") for cmd in commands)
+        assert "python -m compileall src" in commands
+
+    def test_tests_job_excludes_slow(self, workflow):
+        commands = job_commands(workflow["jobs"]["tests"])
+        suite = [cmd for cmd in commands if "python -m pytest" in cmd]
+        assert suite and 'not slow' in suite[0]
+
+    def test_bench_smoke_uploads_reports(self, workflow):
+        job = workflow["jobs"]["bench-smoke"]
+        assert "python -m benchmarks.smoke" in job_commands(job)
+        uploads = [
+            step for step in job["steps"]
+            if "upload-artifact" in step.get("uses", "")
+        ]
+        assert uploads and uploads[0]["with"]["path"] == "BENCH_pr*.json"
+
+    def test_full_suite_gated_to_schedule_and_dispatch(self, workflow):
+        job = workflow["jobs"]["full-suite"]
+        assert "schedule" in job["if"] and "workflow_dispatch" in job["if"]
+        suite = [cmd for cmd in job_commands(job) if "python -m pytest" in cmd]
+        assert suite and "not slow" not in suite[0]
+
+    def test_every_job_checks_out_and_sets_up_python(self, workflow):
+        for name, job in workflow["jobs"].items():
+            uses = [step.get("uses", "") for step in job["steps"]]
+            assert any(u.startswith("actions/checkout@") for u in uses), name
+            assert any(u.startswith("actions/setup-python@") for u in uses), name
+
+    def test_slow_marker_is_registered(self):
+        # the tests job's `-m "not slow"` selection silently matches nothing
+        # if the marker ever drops out of pyproject
+        pyproject = (WORKFLOW.parent.parent.parent / "pyproject.toml").read_text()
+        assert 'slow:' in pyproject

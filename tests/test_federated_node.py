@@ -9,12 +9,11 @@ import pytest
 
 from repro.core.cctp import SidechainStatus
 from repro.crypto.keys import KeyPair
-from repro.errors import UnsatisfiedConstraint, ZendooError
+from repro.errors import UnsatisfiedConstraint
 from repro.federated import (
     FederatedNode,
     FederatedWCertCircuit,
     FederatedWCertWitness,
-    Federation,
     certificate_message,
     collect_signatures,
     federated_sidechain_config,
@@ -150,7 +149,6 @@ class TestQuorumEnforcement:
 
     def _public(self, config, witness):
         from repro.core.transfers import WithdrawalCertificate
-        from repro.core.transfers import proofdata_root
 
         draft = WithdrawalCertificate(
             ledger_id=config.ledger_id,

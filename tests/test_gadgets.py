@@ -12,7 +12,7 @@ from repro.snark.gadgets.arith import (
     enforce_less_or_equal,
     enforce_sum_with_fee,
 )
-from repro.snark.gadgets.merkle import enforce_merkle_membership, merkle_path_gadget
+from repro.snark.gadgets.merkle import enforce_merkle_membership
 from repro.snark.gadgets.mimc import (
     mimc_compress_gadget,
     mimc_hash_gadget,

@@ -6,7 +6,6 @@ withdrawal paths (§5.5.3), ceasing (Def. 4.2) and multi-sidechain
 coexistence (Fig. 1).
 """
 
-import pytest
 
 from repro.core.cctp import SidechainStatus
 from repro.crypto.keys import KeyPair

@@ -110,7 +110,7 @@ class TestPayment:
             state.apply(tx)
 
     def test_tampered_signature_rejected(self, state, keys):
-        from repro.latus.transactions import PaymentTx, SignedInput
+        from repro.latus.transactions import PaymentTx
 
         u = mint(state, keys["alice"], 100, 1)
         out = fresh_output(keys["bob"], 100, 2)

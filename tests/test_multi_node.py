@@ -118,7 +118,6 @@ class TestEquivocationDefence:
         mc, config, dep = deployment
         dep.run(MINER.address, 3)
         node = dep.any_node()
-        from dataclasses import replace
 
         from repro.errors import ConsensusError
         from repro.latus.block import forge_block

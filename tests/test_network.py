@@ -68,10 +68,10 @@ class TestSimulator:
     def test_unknown_destination_counts_drop(self):
         sim, _ = self._sim()
         dropped = observability.registry().get("repro_network_dropped_total")
-        before = dropped.value()
+        before = dropped.value(reason="unknown_dst")
         with pytest.raises(UnknownNetworkNode):
             sim.send("a", "nope", "x")
-        assert dropped.value() == before + 1
+        assert dropped.value(reason="unknown_dst") == before + 1
 
     def test_unknown_broadcast_destination_rejected(self):
         sim = NetworkSimulator()

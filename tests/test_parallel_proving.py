@@ -93,6 +93,7 @@ def chain_of_payments(keys, count):
 class TestPoolEquivalence:
     """Serial and parallel composition must be indistinguishable."""
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("count", [1, 2, 5, 8])
     def test_counter_sequences_match(self, composer, count):
         transitions = list(range(1, count + 1))
@@ -157,6 +158,7 @@ class TestPoolEquivalence:
 
 
 class TestEpochProverParallel:
+    @pytest.mark.slow
     def test_epoch_equivalence(self, keys):
         state, txs = chain_of_payments(keys, 5)
         serial = EpochProver().prove_epoch(state.copy(), txs)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.crypto.keys import KeyPair
 from repro.errors import SnarkError
-from repro.latus.proof_market import DispatchResult, ProofDispatcher, ProofWorker
+from repro.latus.proof_market import ProofDispatcher, ProofWorker
 from repro.latus.state import LatusState
 from repro.latus.transactions import sign_payment
 from repro.latus.utxo import Utxo, address_to_field, derive_nonce

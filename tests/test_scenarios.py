@@ -25,6 +25,7 @@ class TestHarnessBasics:
         harness.mine_until(3)  # no-op when already past
         assert harness.mc.height == 7
 
+    @pytest.mark.slow  # multi-epoch scenario; nightly job runs it
     def test_run_epochs_counts_withdrawal_epochs(self):
         harness = ZendooHarness()
         harness.mine(2)

@@ -6,7 +6,6 @@ exists — round-trippable.  Ids derived from encodings must be domain
 separated across object kinds.
 """
 
-import pytest
 
 from repro.core.transfers import (
     BackwardTransfer,
@@ -19,7 +18,7 @@ from repro.core.transfers import (
 from repro.crypto.keys import KeyPair
 from repro.latus.utxo import Utxo
 from repro.mainchain.block import BlockHeader
-from repro.snark.proving import PROOF_SIZE, Proof
+from repro.snark.proving import Proof
 
 LEDGER = derive_ledger_id("serde")
 

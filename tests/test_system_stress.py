@@ -13,6 +13,9 @@ from repro.crypto.keys import KeyPair
 from repro.latus.audit import SidechainAuditor
 from repro.scenarios import PaymentWorkload, ZendooHarness, make_accounts
 
+# long-horizon soak test: excluded from the CI tier-1 job, run nightly
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def busy_world():

@@ -23,7 +23,7 @@ from repro.latus.transactions import (
 )
 from repro.latus.mst import MerkleStateTree
 from repro.latus.utxo import Utxo, address_to_field, derive_nonce
-from repro.snark.proving import PROOF_SIZE, Proof
+from repro.snark.proving import Proof
 
 LEDGER = derive_ledger_id("wire")
 

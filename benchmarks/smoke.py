@@ -40,8 +40,17 @@ a scheduled partition and one crash/restart — twice) recorded to
 firing, the crashed node recovering, and the two runs producing
 byte-identical fault schedules and identical final (height, digest).
 
+It then runs a field-backend workload (warm epoch proving and bulk Merkle
+inserts under every available ``repro.crypto.backend`` implementation)
+recorded to ``BENCH_pr6.json``, gating on byte-identical proofs, public
+inputs and roots across backends, the batched-dispatch counters actually
+moving under the ``batched`` backend, and a ≥3x warm-epoch speedup of the
+batched backend over the ``python-int`` reference (timed best-of-two so
+the gate tolerates noisy machines; optional backends that fail to import,
+e.g. ``gmpy2``, are recorded as unavailable rather than failing).
+
 Intended as a cheap CI gate for the MiMC/Merkle, prover performance,
-observability, template-cache and robustness layers (see
+observability, template-cache, robustness and field-backend layers (see
 docs/PERFORMANCE.md, docs/OBSERVABILITY.md and docs/ROBUSTNESS.md).
 """
 
@@ -75,6 +84,7 @@ DEFAULT_OUT_PR2 = Path(__file__).resolve().parent.parent / "BENCH_pr2.json"
 DEFAULT_OUT_PR3 = Path(__file__).resolve().parent.parent / "BENCH_pr3.json"
 DEFAULT_OUT_PR4 = Path(__file__).resolve().parent.parent / "BENCH_pr4.json"
 DEFAULT_OUT_PR5 = Path(__file__).resolve().parent.parent / "BENCH_pr5.json"
+DEFAULT_OUT_PR6 = Path(__file__).resolve().parent.parent / "BENCH_pr6.json"
 
 _MIMC_COUNTERS = {
     "compressions": "repro_mimc_compressions_total",
@@ -492,6 +502,115 @@ def run_chaos_workload() -> dict:
     }
 
 
+def run_field_backend_workload() -> dict:
+    """Warm epoch proving and bulk Merkle inserts per field backend (PR 6).
+
+    Every available backend must produce byte-identical proofs, public
+    inputs and tree roots; only the wall time may differ.  The batched
+    backend is additionally required to actually route MiMC permutations
+    through ``batch_permutations`` (counter-verified) and to beat the
+    ``python-int`` reference by >= 3x on the warm epoch (best-of-two
+    timing, so a single scheduler hiccup does not fail the gate).
+    """
+    from repro.crypto import backend as field_backend
+    from repro.snark import compile as snark_compile
+
+    registry = observability.registry()
+
+    def _batch_counters() -> dict:
+        return {
+            "batch_calls": int(
+                registry.counter("repro_field_batch_calls_total").value()
+            ),
+            "batch_elements": int(
+                registry.counter("repro_field_batch_elements_total").value()
+            ),
+            "fused_hits": int(
+                registry.counter("repro_field_fused_permutation_hits_total").value()
+            ),
+        }
+
+    updates = [(i, i + 17) for i in range(MERKLE_LEAVES)]
+    state, txs = _payment_chain(16)
+    entry_backend = field_backend.active().name
+    per_backend = {}
+    proofs = {}
+    roots = {}
+    batched_deltas = None
+
+    for name, ok in field_backend.available_backends().items():
+        if not ok:
+            per_backend[name] = {"available": False}
+            continue
+        with field_backend.use_backend(name):
+            snark_compile.clear()
+            mimc.clear_cache()
+            before = _batch_counters()
+            tree = FixedMerkleTree(MERKLE_DEPTH)
+            tree.set_leaves(updates)
+            roots[name] = tree.root
+            prover = EpochProver()
+            prover.prove_epoch(state.copy(), txs)  # warm templates and memos
+            walls = []
+            for _ in range(2):
+                start = time.perf_counter()
+                result = prover.prove_epoch(state.copy(), txs)
+                walls.append(time.perf_counter() - start)
+            after = _batch_counters()
+            deltas = {key: after[key] - before[key] for key in before}
+            if name == "batched":
+                batched_deltas = deltas
+            proofs[name] = (result.proof.proof.data, result.proof.public_input)
+            per_backend[name] = {
+                "available": True,
+                "merkle_root": hex(tree.root),
+                "warm_epoch_wall_s": min(walls),
+                "counters": deltas,
+            }
+
+    reference_proof = proofs["python-int"]
+    reference_wall = per_backend["python-int"]["warm_epoch_wall_s"]
+    speedups = {
+        name: reference_wall / per_backend[name]["warm_epoch_wall_s"]
+        for name in proofs
+        if per_backend[name]["warm_epoch_wall_s"]
+    }
+    return {
+        "workload": (
+            f"warm 16-tx epoch + {MERKLE_LEAVES}-leaf bulk insert per field "
+            "backend"
+        ),
+        "backends": per_backend,
+        "speedup_vs_reference": {k: round(v, 2) for k, v in speedups.items()},
+        "proofs_identical": all(p == reference_proof for p in proofs.values()),
+        "roots_identical": len(set(roots.values())) == 1,
+        "batched_available": per_backend.get("batched", {}).get("available", False),
+        "batched_dispatch_used": (
+            batched_deltas is not None and batched_deltas["batch_calls"] > 0
+        ),
+        "batched_speedup": speedups.get("batched", 0.0),
+        "entry_backend": entry_backend,
+        "exit_backend": field_backend.active().name,
+    }
+
+
+def field_backend_checks(fb: dict) -> dict:
+    """The BENCH_pr6 gate: byte-identical outputs, real batched dispatch,
+    and the ROADMAP's >= 3x warm-epoch speedup for the batched backend."""
+    checks = {
+        "field_backend_proofs_identical": fb["proofs_identical"],
+        "field_backend_roots_identical": fb["roots_identical"],
+        "field_backend_batched_available": fb["batched_available"],
+        "field_backend_batched_dispatch_used": fb["batched_dispatch_used"],
+        "field_backend_selection_restored": fb["exit_backend"] == fb["entry_backend"],
+    }
+    if fb["batched_available"]:
+        # acceptance target: batched witness evaluation >= 3x faster than
+        # the reference backend on the warm epoch
+        checks["field_backend_speedup_at_least_3x"] = fb["batched_speedup"] >= 3.0
+    return checks
+
+
 def chaos_checks(chaos: dict) -> dict:
     """The BENCH_pr5 gate: survive the faults, reproduce them exactly."""
     return {
@@ -585,8 +704,21 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_OUT_PR5,
         help="output JSON path for the chaos/fault-injection workload",
     )
+    parser.add_argument(
+        "--out-pr6",
+        type=Path,
+        default=DEFAULT_OUT_PR6,
+        help="output JSON path for the field-backend workload",
+    )
     args = parser.parse_args(argv)
-    for out in (args.out, args.out_pr2, args.out_pr3, args.out_pr4, args.out_pr5):
+    for out in (
+        args.out,
+        args.out_pr2,
+        args.out_pr3,
+        args.out_pr4,
+        args.out_pr5,
+        args.out_pr6,
+    ):
         if not out.parent.is_dir():
             parser.error(f"output directory does not exist: {out.parent}")
 
@@ -655,6 +787,16 @@ def main(argv: list[str] | None = None) -> int:
     }
     args.out_pr5.write_text(json.dumps(pr5_report, indent=2) + "\n")
 
+    fb = run_field_backend_workload()
+    pr6_checks = field_backend_checks(fb)
+    pr6_report = {
+        "suite": "field backend and batched evaluation smoke (PR 6)",
+        "workloads": {"field_backends": fb},
+        "checks": pr6_checks,
+        "ok": all(pr6_checks.values()),
+    }
+    args.out_pr6.write_text(json.dumps(pr6_report, indent=2) + "\n")
+
     for name, result in report["workloads"].items():
         print(
             f"{name}: sequential {result['sequential']['wall_s']:.3f}s "
@@ -705,12 +847,35 @@ def main(argv: list[str] | None = None) -> int:
     )
     for name, passed in pr5_checks.items():
         print(f"  check {name}: {'ok' if passed else 'FAIL'}")
+    available = {
+        name: info
+        for name, info in fb["backends"].items()
+        if info.get("available")
+    }
+    walls = ", ".join(
+        f"{name} {info['warm_epoch_wall_s'] * 1e3:.1f}ms"
+        for name, info in available.items()
+    )
     print(
-        f"wrote {args.out}, {args.out_pr2}, {args.out_pr3}, {args.out_pr4} "
-        f"and {args.out_pr5}"
+        f"field_backends: warm 16-tx epoch — {walls}; speedups vs reference "
+        f"{fb['speedup_vs_reference']}"
+    )
+    for name, passed in pr6_checks.items():
+        print(f"  check {name}: {'ok' if passed else 'FAIL'}")
+    print(
+        f"wrote {args.out}, {args.out_pr2}, {args.out_pr3}, {args.out_pr4}, "
+        f"{args.out_pr5} and {args.out_pr6}"
     )
     return 0 if all(
-        r["ok"] for r in (report, pr2_report, pr3_report, pr4_report, pr5_report)
+        r["ok"]
+        for r in (
+            report,
+            pr2_report,
+            pr3_report,
+            pr4_report,
+            pr5_report,
+            pr6_report,
+        )
     ) else 1
 
 

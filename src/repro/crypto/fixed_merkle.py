@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.crypto.mimc import mimc_compress
+from repro.crypto.mimc import mimc_compress, mimc_compress_many
 from repro.errors import MerkleError
 
 #: Sentinel field value of an empty leaf slot (the paper's ``H(Null)``).
@@ -185,14 +185,21 @@ class FixedMerkleTree:
         for position, value in pending.items():
             self._store(0, position, value)
         dirty = set(pending)
+        node = self._node
+        store = self._store
         for level in range(1, self.depth + 1):
-            parents = {index >> 1 for index in dirty}
+            parents = sorted({index >> 1 for index in dirty})
             below = level - 1
-            for index in parents:
-                node = mimc_compress(
-                    self._node(below, index << 1), self._node(below, (index << 1) | 1)
-                )
-                self._store(level, index, node)
+            # One batched compression per level: the whole frontier of dirty
+            # parents goes to mimc_compress_many, which dedupes cache misses
+            # and hands them to the active field backend as a single array
+            # program (repro.crypto.backend).  Sorted order keeps the batch
+            # deterministic across runs and backends.
+            nodes = mimc_compress_many(
+                [(node(below, i << 1), node(below, (i << 1) | 1)) for i in parents]
+            )
+            for index, value in zip(parents, nodes):
+                store(level, index, value)
             dirty = parents
 
     def clear_leaf(self, position: int) -> None:

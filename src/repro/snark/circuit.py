@@ -98,9 +98,14 @@ class CircuitBuilder:
     # -- multiplicative ops (one constraint each) ------------------------------
 
     def mul(self, a: Wire, b: Wire, annotation: str = "mul") -> Wire:
-        """Allocate ``a * b`` and enforce the product constraint."""
+        """Allocate ``a * b`` and enforce the product constraint.
+
+        The constraint is flagged ``computed``: its C side is the freshly
+        allocated product variable, assigned exactly ``a.value * b.value``,
+        so it holds by construction (see :class:`repro.snark.r1cs.Constraint`).
+        """
         product = self.alloc(a.value * b.value % MODULUS)
-        self.cs.enforce(a.lc, b.lc, product.lc, annotation)
+        self.cs.enforce(a.lc, b.lc, product.lc, annotation, computed=True)
         return product
 
     def square(self, a: Wire, annotation: str = "square") -> Wire:

@@ -44,6 +44,26 @@ is the exceptional case; honest proving never pays the rerun.
 Disable globally with ``REPRO_SNARK_TEMPLATES=0`` in the environment, or
 per-scope with :func:`use_templates` / :func:`set_enabled` (what the
 equivalence tests and the synthesis-vs-evaluation benchmarks use).
+
+**Batched evaluation (the ``batched`` field backend).**  When the active
+field backend (:mod:`repro.crypto.backend`) advertises ``batched_eval``,
+two further accelerations switch on, both exact:
+
+* the MiMC permutation gadget evaluates *fused*: one exec-compiled
+  straight-line function produces all 330 per-round product values of a
+  permutation in a single call (memoized on ``(x, k)`` in a bounded FIFO,
+  so the shared prefixes of Miyaguchi–Preneel hash chains — same state,
+  same leading elements — replay as one dict hit and a list ``extend``).
+  The appended values are byte-identical to the unfused replay: ``t2`` and
+  ``t4`` are free byproducts of computing each round's output;
+* the template checker verifies only *refutable* constraints.  Product
+  definitions from ``mul``/``square`` (flagged ``computed`` at enforcement,
+  see :class:`repro.snark.r1cs.Constraint`) assign their C variable exactly
+  the A·B product, so on any assignment produced by the synthesis trace
+  they hold by construction and checking them cannot change acceptance.
+  Booleanity, nonzero, select, equality and recomposition rows — the ones
+  a bad witness actually violates — are still checked row-for-row, and a
+  rejection still re-runs the canonical eager path.
 """
 
 from __future__ import annotations
@@ -51,10 +71,12 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from repro import observability
+from repro.crypto import backend as field_backend
 from repro.crypto.field import MODULUS, inv
+from repro.crypto.mimc import ROUND_CONSTANTS
 from repro.errors import SynthesisError
 from repro.snark.circuit import Circuit, CircuitBuilder, _validate_publics
 from repro.snark.r1cs import R1CSStats
@@ -81,6 +103,14 @@ _FALLBACKS = _REGISTRY.counter(
     "repro_snark_template_fallbacks_total",
     "proofs forced onto full synthesis by the structural guard",
 ).labels()
+_FUSED_HITS = _REGISTRY.counter(
+    "repro_field_fused_permutation_hits_total",
+    "fused MiMC gadget evaluations served from the permutation memo",
+).labels()
+_FUSED_MISSES = _REGISTRY.counter(
+    "repro_field_fused_permutation_misses_total",
+    "fused MiMC gadget evaluations computed from scratch",
+).labels()
 
 _ENABLED_AT_IMPORT = os.environ.get("REPRO_SNARK_TEMPLATES", "1") not in (
     "0",
@@ -97,12 +127,15 @@ _enabled: bool = _ENABLED_AT_IMPORT
 
 # -- the template --------------------------------------------------------------
 
-#: One flattened constraint: sparse A/B/C term tuples plus the annotation.
+#: One flattened constraint: sparse A/B/C term tuples, the annotation, and
+#: the validated ``computed`` provenance flag (True only for product
+#: definitions whose C side is a single bare fresh variable).
 _FlatConstraint = tuple[
     tuple[tuple[int, int], ...],
     tuple[tuple[int, int], ...],
     tuple[tuple[int, int], ...],
     str,
+    bool,
 ]
 
 
@@ -141,6 +174,54 @@ class ConstraintTemplate:
             num_public_inputs=len(self.public_indices),
             num_native_checks=self.num_native_checks,
         )
+
+
+# -- fused MiMC permutation for the evaluation path ------------------------------
+
+
+def _compile_fused_permutation(
+    constants: Sequence[int], modulus: int
+) -> Callable[[int, int], tuple[int, ...]]:
+    """Exec-compile the straight-line producer of a permutation's witness slots.
+
+    One call computes every per-round product value (``t2``, ``t4``, ``r``;
+    three per round) that the unfused gadget would append through 330
+    individual ``square``/``mul`` calls.  ``t2`` and ``t4`` are byproducts of
+    computing the round output anyway, so the returned tuple is byte-identical
+    to the unfused replay — fusing removes Python call dispatch and
+    ``EvalWire`` boxing, not arithmetic.  The permutation output is
+    ``(slots[-1] + k) % p``.
+    """
+    lines = [f"def _fused(r, k, _M={modulus}):", "    s = []", "    a = s.append"]
+    for c in constants:
+        if c:
+            lines.append(f"    t = (r + k + {c}) % _M")
+        else:
+            lines.append("    t = (r + k) % _M")
+        lines.append("    t2 = t * t % _M")
+        lines.append("    a(t2)")
+        lines.append("    t4 = t2 * t2 % _M")
+        lines.append("    a(t4)")
+        lines.append("    r = t4 * t % _M")
+        lines.append("    a(r)")
+    lines.append("    return tuple(s)")
+    namespace: dict[str, Any] = {}
+    exec(compile("\n".join(lines), "<snark-fused-permutation>", "exec"), namespace)
+    return namespace["_fused"]
+
+
+_fused_permutation: Callable[[int, int], tuple[int, ...]] = _compile_fused_permutation(
+    ROUND_CONSTANTS, MODULUS
+)
+
+#: Maximum memoized ``(x, k) -> witness slots`` entries.  Each entry is 330
+#: field ints (~12 KB), bounding the memo at ~12 MB; eviction is FIFO.  The
+#: memo is what makes Miyaguchi–Preneel chain prefixes cheap: every proof of
+#: an epoch re-hashes mostly-identical UTXO fields, so the bulk of gadget
+#: permutations repeat (x, k) pairs already seen.
+FUSED_MEMO_MAX_ENTRIES: int = 1024
+
+_fused_memo: dict[tuple[int, int], tuple[int, ...]] = {}
 
 
 # -- the evaluation-only builder -----------------------------------------------
@@ -189,6 +270,7 @@ class EvaluationBuilder:
         "num_native_checks",
         "_one",
         "_append",
+        "_fused",
     )
 
     def __init__(self) -> None:
@@ -199,6 +281,9 @@ class EvaluationBuilder:
         self._one = EvalWire(1)
         # bound once: the hot gadget loops append thousands of times per proof
         self._append = self.assignment.append
+        # fused MiMC only under a batched_eval backend, so the default
+        # backend replays gadgets op-for-op exactly as before
+        self._fused = field_backend.active().batched_eval
 
     # -- allocation ----------------------------------------------------------
 
@@ -316,6 +401,34 @@ class EvaluationBuilder:
         if not condition:
             raise _EvalAbort(message)
 
+    def mimc_permutation_fused(self, x: EvalWire, k: EvalWire) -> EvalWire | None:
+        """Evaluate a whole keyed MiMC permutation as one fused call.
+
+        Returns ``None`` unless the active field backend advertises
+        ``batched_eval`` — the gadget then falls through to its op-for-op
+        loop.  When active, the 330 per-round witness values (identical to
+        the unfused replay, see :func:`_compile_fused_permutation`) are
+        appended in one ``extend`` and the allocation/constraint counters
+        advance exactly as 110 rounds of ``square``/``square``/``mul``
+        would, so the structural guard sees the same shape either way.
+        """
+        if not self._fused:
+            return None
+        key = (x.value, k.value)
+        memo = _fused_memo
+        slots = memo.get(key)
+        if slots is None:
+            _FUSED_MISSES.inc()
+            slots = _fused_permutation(*key)
+            if len(memo) >= FUSED_MEMO_MAX_ENTRIES:
+                del memo[next(iter(memo))]
+            memo[key] = slots
+        else:
+            _FUSED_HITS.inc()
+        self.assignment.extend(slots)
+        self.num_constraints += len(slots)
+        return EvalWire((slots[-1] + key[1]) % MODULUS)
+
     # -- results -----------------------------------------------------------------
 
     def shape_key(self) -> tuple:
@@ -362,6 +475,23 @@ def _full_synthesis(
     return builder
 
 
+def _is_product_definition(constraint) -> bool:
+    """Validate a ``computed`` flag before trusting it for checker skipping.
+
+    The flag is honored only when the constraint's C side is a single bare
+    non-ONE variable with coefficient 1 — the exact shape ``mul`` emits.
+    Anything else (however it got flagged) is treated as refutable, so a
+    mis-flagged constraint costs a redundant check, never a missed one.
+    """
+    if not constraint.computed:
+        return False
+    terms = constraint.c.terms
+    if len(terms) != 1:
+        return False
+    ((var, coeff),) = terms.items()
+    return var != 0 and coeff == 1
+
+
 def _template_from(builder: CircuitBuilder, circuit: Circuit) -> ConstraintTemplate:
     cs = builder.cs
     flattened = tuple(
@@ -370,6 +500,7 @@ def _template_from(builder: CircuitBuilder, circuit: Circuit) -> ConstraintTempl
             tuple(c.b.terms.items()),
             tuple(c.c.terms.items()),
             c.annotation,
+            _is_product_definition(c),
         )
         for c in cs.constraints
     )
@@ -407,7 +538,7 @@ def _compile(
             family[template.shape_key] = template
             # build the exec-compiled batched checker now, inside the
             # compile span, so the first template hit is already fast
-            _checker_for(key, template)
+            _checker_for(key, template, _refutable_only())
             _COMPILES.inc()
         else:
             # the family keeps presenting new shapes: it is shape-shifting,
@@ -418,10 +549,20 @@ def _compile(
 
 
 #: Per-process cache of exec-compiled batched checkers, keyed by
-#: ``(family_key, shape_key)``.  Checkers close over nothing and cannot be
-#: pickled, so pool workers compile their own from the shipped templates on
-#: first use.
+#: ``(family_key, shape_key, refutable_only)``.  Checkers close over nothing
+#: and cannot be pickled, so pool workers compile their own from the shipped
+#: templates on first use.
 _CHECKERS: dict[tuple, Any] = {}
+
+
+def _refutable_only() -> bool:
+    """Whether the checker may skip validated product-definition rows.
+
+    Tied to the batched field backend so the default configuration checks
+    every constraint exactly as before; ``use_backend("batched")`` opts into
+    the provenance-based skip (see the module docstring for why it is exact).
+    """
+    return field_backend.active().batched_eval
 
 
 #: Coefficients below this inline as decimal literals; larger ones hoist
@@ -459,7 +600,9 @@ def _term_expr(terms: tuple[tuple[int, int], ...], constants: list[int]) -> str:
     return "+".join(parts)
 
 
-def _checker_for(key: tuple[str, bytes], template: ConstraintTemplate):
+def _checker_for(
+    key: tuple[str, bytes], template: ConstraintTemplate, refutable_only: bool = False
+):
     """The batched pass as one generated flat function.
 
     Emits ``<A_i,z> * <B_i,z> == <C_i,z>`` as a literal expression per
@@ -471,13 +614,19 @@ def _checker_for(key: tuple[str, bytes], template: ConstraintTemplate):
     Returns False at the first unsatisfied constraint; the caller re-runs
     full synthesis for the canonical error, so no violation bookkeeping is
     needed here.
+
+    ``refutable_only`` omits validated product-definition rows (the batched
+    backend's provenance-based skip); both checker variants are cached
+    independently, so toggling backends never recompiles.
     """
-    cache_key = (key, template.shape_key)
+    cache_key = (key, template.shape_key, refutable_only)
     checker = _CHECKERS.get(cache_key)
     if checker is None:
         constants: list[int] = []
         body = []
-        for a_terms, b_terms, c_terms, _annotation in template.constraints:
+        for a_terms, b_terms, c_terms, _annotation, computed in template.constraints:
+            if refutable_only and computed:
+                continue
             a = _term_expr(a_terms, constants)
             b = _term_expr(b_terms, constants)
             c = _term_expr(c_terms, constants)
@@ -508,7 +657,7 @@ def _first_violation(
 ) -> tuple[int, str] | None:
     """The batched streaming pass: first unsatisfied constraint, if any."""
     M = MODULUS
-    for index, (a_terms, b_terms, c_terms, annotation) in enumerate(
+    for index, (a_terms, b_terms, c_terms, annotation, _computed) in enumerate(
         template.constraints
     ):
         total = 0
@@ -572,7 +721,7 @@ def synthesize_for_proof(
         _MISSES.inc()
         return _compile(circuit, key, public_input, witness), False
 
-    if not _checker_for(key, template)(evaluator.assignment):
+    if not _checker_for(key, template, _refutable_only())(evaluator.assignment):
         # An arithmetic constraint is unsatisfied.  All native checks
         # passed and every constraint before it holds, so the eager path
         # would raise exactly here — but re-run it anyway: if the template
@@ -621,10 +770,25 @@ def use_templates(flag: bool) -> Iterator[None]:
 
 
 def clear() -> None:
-    """Drop every cached template and fallback marker (counters untouched)."""
+    """Drop every cached template and fallback marker (counters untouched).
+
+    Also drops the fused-permutation memo, so benchmark isolation hooks
+    that call this measure cold-path behaviour for both caches.
+    """
     _FAMILIES.clear()
     _FALLEN_BACK.clear()
     _CHECKERS.clear()
+    _fused_memo.clear()
+
+
+def clear_fused_memo() -> None:
+    """Drop only the fused-permutation memo (benchmark isolation hook)."""
+    _fused_memo.clear()
+
+
+def fused_memo_size() -> int:
+    """Number of currently memoized fused permutations."""
+    return len(_fused_memo)
 
 
 def template_count() -> int:

@@ -23,7 +23,21 @@ from repro.snark.circuit import CircuitBuilder, Wire
 
 
 def mimc_permutation_gadget(builder: CircuitBuilder, x: Wire, k: Wire) -> Wire:
-    """Enforce the keyed MiMC permutation; returns the output wire."""
+    """Enforce the keyed MiMC permutation; returns the output wire.
+
+    On the template evaluation path (:class:`repro.snark.compile.EvaluationBuilder`)
+    the whole permutation may evaluate *fused* — one memoized straight-line
+    call producing the identical 330 witness values — when the active field
+    backend advertises batched evaluation.  The eager builder (and the
+    evaluation builder under the default backend) takes the op-for-op loop
+    below, which is the constraint-level specification the fused path must
+    stay byte-identical to.
+    """
+    fused = getattr(builder, "mimc_permutation_fused", None)
+    if fused is not None:
+        out = fused(x, k)
+        if out is not None:
+            return out
     r = x
     for constant in ROUND_CONSTANTS:
         t = builder.add(builder.add(r, k), builder.constant(constant))

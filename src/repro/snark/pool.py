@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro import observability
+from repro.crypto import backend as field_backend
 from repro.errors import SnarkError, UnsatisfiedConstraint
 from repro.snark import compile as snark_compile
 from repro.snark import proving
@@ -102,17 +103,20 @@ _WORKER_PKS: dict[str, ProvingKey] = {}
 
 
 def _init_worker(pk_blob: bytes) -> None:
-    """Executor initializer: unpickle keys and templates exactly once.
+    """Executor initializer: unpickle keys, templates and the backend once.
 
-    The blob carries the parent's registered proving keys plus its compiled
-    constraint-template state (:func:`repro.snark.compile.export_state`), so
-    workers start with every template the parent already compiled — each
-    worker compiles a family at most once, and only for shapes the parent
-    has not seen.
+    The blob carries the parent's registered proving keys, its compiled
+    constraint-template state (:func:`repro.snark.compile.export_state`) and
+    the name of its active field backend, so workers start with every
+    template the parent already compiled and prove under the same backend —
+    with the usual graceful fallback if the backend's optional dependency
+    is missing in the worker (it never is: workers are forks of the parent,
+    but the selection is name-based and must not hard-fail regardless).
     """
-    pks, template_state = pickle.loads(pk_blob)
+    pks, template_state, backend_name = pickle.loads(pk_blob)
     _WORKER_PKS.update(pks)
     snark_compile.import_state(template_state)
+    field_backend.set_backend(backend_name, strict=False)
 
 
 def _worker_pk(circuit_id: str, inline_pk: ProvingKey | None) -> ProvingKey:
@@ -128,10 +132,15 @@ def _worker_pk(circuit_id: str, inline_pk: ProvingKey | None) -> ProvingKey:
 
 
 def _prove_chunk(circuit_id: str, job_blob: bytes) -> list[ProveResult]:
-    """Prove a chunk of ``(public_input, witness)`` jobs in one IPC round."""
+    """Prove a chunk of ``(public_input, witness)`` jobs in one IPC round.
+
+    Routed through :func:`repro.snark.proving.prove_many`, so the whole
+    chunk runs under one ``snark/batched_eval`` span and shares the
+    fused-permutation memo across its witnesses.
+    """
     inline_pk, jobs = pickle.loads(job_blob)
     pk = _worker_pk(circuit_id, inline_pk)
-    return [proving.prove_with_stats(pk, public, witness) for public, witness in jobs]
+    return proving.prove_many(pk, jobs)
 
 
 def _prove_one(circuit_id: str, job_blob: bytes) -> ProveResult:
@@ -263,7 +272,11 @@ class ProverPool:
             try:
                 started = time.perf_counter()
                 blob = pickle.dumps(
-                    (self._pks, snark_compile.export_state()),
+                    (
+                        self._pks,
+                        snark_compile.export_state(),
+                        field_backend.active().name,
+                    ),
                     protocol=pickle.HIGHEST_PROTOCOL,
                 )
                 self.stats.serialization_seconds += time.perf_counter() - started

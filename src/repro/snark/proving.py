@@ -39,11 +39,14 @@ import time
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+from repro import observability
 from repro.crypto.field import MODULUS
 from repro.errors import SnarkError, VerificationFailure
 from repro.snark import compile as snark_compile
 from repro.snark.circuit import Circuit
 from repro.snark.r1cs import R1CSStats
+
+_TRACER = observability.tracer()
 
 #: Constant size, in bytes, of every proof produced by this system.
 PROOF_SIZE: int = 96
@@ -199,6 +202,27 @@ def prove_with_stats(
         prove_seconds=time.perf_counter() - started,
         via_template=via_template,
     )
+
+
+def prove_many(
+    pk: ProvingKey, jobs: Sequence[tuple[Sequence[int], Any]]
+) -> list[ProveResult]:
+    """Prove a batch of same-key statements under one ``snark/batched_eval`` span.
+
+    ``jobs`` is a sequence of ``(public_input, witness)`` pairs.  Results are
+    positionally identical to a loop of :func:`prove_with_stats` calls — this
+    is the chunk entry point :class:`~repro.snark.pool.ProverPool` workers
+    use, and the batching benefit is *cross-witness*: consecutive witnesses
+    of one chunk share template checkers and (under the batched field
+    backend) the fused-permutation memo, so the second and later proofs of a
+    chunk skip most of the MiMC work the first one paid for.
+    """
+    if not jobs:
+        return []
+    with _TRACER.span(
+        "snark/batched_eval", circuit=pk.circuit.circuit_id, jobs=len(jobs)
+    ):
+        return [prove_with_stats(pk, public_input, witness) for public_input, witness in jobs]
 
 
 def verify(vk: VerifyingKey, public_input: Sequence[int], proof: Proof) -> bool:

@@ -94,12 +94,23 @@ class LinearCombination:
 
 @dataclass(frozen=True)
 class Constraint:
-    """One rank-1 constraint ``a * b = c`` with an annotation for debugging."""
+    """One rank-1 constraint ``a * b = c`` with an annotation for debugging.
+
+    ``computed`` records *provenance*, not syntax: True means the builder
+    created ``c`` as a fresh variable assigned exactly ``<A,z> * <B,z>``
+    (a product definition from :meth:`CircuitBuilder.mul`/``square``), so the
+    constraint is satisfied by construction and can never be the first one to
+    fail.  Genuinely refutable constraints (booleanity, nonzero, selects,
+    equality against pre-existing wires) leave it False.  The batched
+    witness-evaluation path in :mod:`repro.snark.compile` uses this to check
+    only refutable rows; the eager path ignores it entirely.
+    """
 
     a: LinearCombination
     b: LinearCombination
     c: LinearCombination
     annotation: str = ""
+    computed: bool = False
 
 
 @dataclass
@@ -169,8 +180,14 @@ class ConstraintSystem:
         b: LinearCombination,
         c: LinearCombination,
         annotation: str = "",
+        computed: bool = False,
     ) -> None:
-        """Add the constraint ``a * b = c`` and check it immediately."""
+        """Add the constraint ``a * b = c`` and check it immediately.
+
+        ``computed`` flags product-definition constraints (see
+        :class:`Constraint`); it does not change eager evaluation — every
+        constraint is still checked here regardless.
+        """
         left = a.evaluate(self.assignment) * b.evaluate(self.assignment) % MODULUS
         right = c.evaluate(self.assignment)
         if left != right:
@@ -180,7 +197,7 @@ class ConstraintSystem:
             )
         self.num_constraints += 1
         if self.keep_constraints:
-            self.constraints.append(Constraint(a, b, c, annotation))
+            self.constraints.append(Constraint(a, b, c, annotation, computed))
 
     def assert_native(self, condition: bool, message: str) -> None:
         """Record a non-arithmetized predicate check.

@@ -62,6 +62,24 @@ class TestWorkflowStructure:
         ]
         assert uploads and uploads[0]["with"]["path"] == "BENCH_pr*.json"
 
+    def test_backend_parity_matrix(self, workflow):
+        """The PR 6 leg: one job per field backend, never fail-fast, with
+        the optional accelerator installs marked best-effort so missing
+        wheels degrade to skips instead of red CI."""
+        job = workflow["jobs"]["backend-parity"]
+        matrix = job["strategy"]["matrix"]["backend"]
+        assert {"python-int", "batched", "gmpy2"} <= set(matrix)
+        assert job["strategy"]["fail-fast"] is False
+        assert job["env"]["REPRO_FIELD_BACKEND"] == "${{ matrix.backend }}"
+        commands = job_commands(job)
+        assert any("tests/test_field_backends.py" in cmd for cmd in commands)
+        assert "python -m benchmarks.smoke" in commands
+        optional = [
+            step for step in job["steps"]
+            if "gmpy2" in step.get("run", "")
+        ]
+        assert optional and optional[0].get("continue-on-error") is True
+
     def test_full_suite_gated_to_schedule_and_dispatch(self, workflow):
         job = workflow["jobs"]["full-suite"]
         assert "schedule" in job["if"] and "workflow_dispatch" in job["if"]

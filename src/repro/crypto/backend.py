@@ -254,11 +254,14 @@ class _LimbEngine:
         return np.array([self._int_to_limbs(v) for v in values], dtype=np.int64)
 
     def _to_ints(self, limbs) -> list[int]:
+        # Addition, not bitwise OR: limbs may be non-canonical here (limb 0
+        # can exceed 2**26 after _reduce_sum's final fold), so overlapping
+        # bits must carry into the running total rather than be clobbered.
         out = []
         for row in limbs.tolist():
             total = 0
             for i in range(_LIMBS - 1, -1, -1):
-                total = (total << _LIMB_BITS) | row[i]
+                total = (total << _LIMB_BITS) + row[i]
             out.append(total % MODULUS)
         return out
 
@@ -447,6 +450,12 @@ def set_backend(name: str, strict: bool = True) -> FieldBackend:
     ``repro_field_backend_fallbacks_total`` tick) when the requested backend
     cannot be constructed — the behaviour of env-var and pool-worker
     selection, where a missing optional wheel must never break proving.
+
+    Selection is process-wide mutable state and assumes single-threaded use:
+    concurrency in this library is process-based (:class:`ProverPool` workers
+    re-select in their initializer), so no lock guards ``_active``.  Do not
+    toggle backends from multiple threads or nest concurrent
+    :func:`use_backend` scopes across threads — the last writer wins.
     """
     global _active
     backend = _resolve(name, strict)
@@ -457,7 +466,12 @@ def set_backend(name: str, strict: bool = True) -> FieldBackend:
 
 @contextmanager
 def use_backend(name: str, strict: bool = True) -> Iterator[FieldBackend]:
-    """Scope a backend activation (tests, benchmarks, parity sweeps)."""
+    """Scope a backend activation (tests, benchmarks, parity sweeps).
+
+    Restores the previously active backend on exit.  Like
+    :func:`set_backend`, this mutates process-wide state and is not
+    thread-safe; see that function's note.
+    """
     previous = active()
     backend = set_backend(name, strict)
     try:

@@ -191,6 +191,30 @@ class TestBatchedPermutations:
             mimc._permutation_compiled(x, k) for x, k in zip(xs, ks)
         ]
 
+    def test_reduce_sum_overwide_limb0_regression(self):
+        """Regression: _reduce_sum's final fold can push limb 0 to 2**26
+        exactly (carry out of limb 9 folds +608 into a nearly-full limb 0,
+        reachable because the permutation's r + k input can reach 2**260).
+        _to_ints must *add* that over-wide limb into the running total; a
+        bitwise OR silently drops the overlapping bit and returns a wrong
+        field element."""
+        b = backend.BatchedBackend()
+        if b._limb_engine is None:
+            pytest.skip("numpy unavailable")
+        engine = b._limb_engine
+        np = engine._np
+        limbs = np.zeros((1, backend._LIMBS), dtype=np.int64)
+        limbs[0, 0] = (1 << backend._LIMB_BITS) - backend._FOLD
+        limbs[0, 1] = 1  # makes bit 26 of the shifted total collide with limb 0
+        limbs[0, backend._LIMBS - 1] = 1 << backend._LIMB_BITS
+        expected = sum(
+            int(v) << (backend._LIMB_BITS * i) for i, v in enumerate(limbs[0].tolist())
+        ) % MODULUS
+        reduced = engine._reduce_sum(limbs)
+        # the fold leaves limb 0 over-wide: exactly 2**26, overlapping bit 26
+        assert int(reduced[0, 0]) == 1 << backend._LIMB_BITS
+        assert engine._to_ints(reduced) == [expected]
+
     @requires
     def test_compress_many_matches_serial_loop(self, backend_name):
         rng = _rng()

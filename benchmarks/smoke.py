@@ -47,11 +47,22 @@ inputs and roots across backends, the batched-dispatch counters actually
 moving under the ``batched`` backend, and a ≥3x warm-epoch speedup of the
 batched backend over the ``python-int`` reference (timed best-of-two so
 the gate tolerates noisy machines; optional backends that fail to import,
-e.g. ``gmpy2``, are recorded as unavailable rather than failing).
+e.g. ``gmpy2``, are recorded as unavailable rather than failing — CI's
+backend-parity leg installs the ``[fast]`` extra so the gmpy2 row is
+measured there).
+
+Finally it runs the many-sidechains scale-out workload from
+``bench_scale_sidechains.py`` (blocks touching a constant number of
+sidechains against registries of 100 vs 1000) recorded to
+``BENCH_pr7.json``, gating on the machine-adaptive per-block cost ratio
+and on the incremental SCTxsCommitment roots and chain digests being
+byte-identical to a naive full rebuild.  ``--scale-only`` runs just this
+workload (the CI ``bench-scale`` leg).
 
 Intended as a cheap CI gate for the MiMC/Merkle, prover performance,
-observability, template-cache, robustness and field-backend layers (see
-docs/PERFORMANCE.md, docs/OBSERVABILITY.md and docs/ROBUSTNESS.md).
+observability, template-cache, robustness, field-backend and scale-out
+layers (see docs/PERFORMANCE.md, docs/OBSERVABILITY.md and
+docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
@@ -85,6 +96,7 @@ DEFAULT_OUT_PR3 = Path(__file__).resolve().parent.parent / "BENCH_pr3.json"
 DEFAULT_OUT_PR4 = Path(__file__).resolve().parent.parent / "BENCH_pr4.json"
 DEFAULT_OUT_PR5 = Path(__file__).resolve().parent.parent / "BENCH_pr5.json"
 DEFAULT_OUT_PR6 = Path(__file__).resolve().parent.parent / "BENCH_pr6.json"
+DEFAULT_OUT_PR7 = Path(__file__).resolve().parent.parent / "BENCH_pr7.json"
 
 _MIMC_COUNTERS = {
     "compressions": "repro_mimc_compressions_total",
@@ -603,7 +615,17 @@ def field_backend_checks(fb: dict) -> dict:
         "field_backend_batched_available": fb["batched_available"],
         "field_backend_batched_dispatch_used": fb["batched_dispatch_used"],
         "field_backend_selection_restored": fb["exit_backend"] == fb["entry_backend"],
+        # the gmpy2 row must always be *recorded* (measured when the [fast]
+        # extra is installed, marked unavailable otherwise — skip, not fail)
+        "field_backend_gmpy2_recorded": "gmpy2" in fb["backends"],
     }
+    if fb["backends"].get("gmpy2", {}).get("available"):
+        # when CI installs the [fast] extra the gmpy2 leg must also have
+        # produced byte-identical outputs (folded into proofs_identical) and
+        # a measured warm-epoch wall time
+        checks["field_backend_gmpy2_measured"] = (
+            fb["backends"]["gmpy2"].get("warm_epoch_wall_s", 0) > 0
+        )
     if fb["batched_available"]:
         # acceptance target: batched witness evaluation >= 3x faster than
         # the reference backend on the warm epoch
@@ -677,6 +699,34 @@ def epoch_checks(epoch: dict) -> dict:
     return checks
 
 
+def _run_scale_suite(out: Path) -> dict:
+    """Run the PR 7 scale-out workload, write its report, print a summary."""
+    from benchmarks.bench_scale_sidechains import run_scale_workload, scale_checks
+
+    scale = run_scale_workload()
+    checks = scale_checks(scale)
+    report = {
+        "suite": "many-sidechains scale-out smoke (PR 7)",
+        "workloads": {"scale_sidechains": scale},
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"scale_sidechains: {scale['small']['registered']} sidechains "
+        f"{scale['small']['per_block_wall_s'] * 1e3:.2f}ms/block vs "
+        f"{scale['large']['registered']} sidechains "
+        f"{scale['large']['per_block_wall_s'] * 1e3:.2f}ms/block — "
+        f"{scale['per_block_ratio']:.2f}x (gate <= {scale['max_ratio']:.1f}x), "
+        f"{scale['parity_large']['blocks_checked']} headers audited against "
+        "the naive rebuild"
+    )
+    for name, passed in checks.items():
+        print(f"  check {name}: {'ok' if passed else 'FAIL'}")
+    print(f"wrote {out}")
+    return report
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="output JSON path")
@@ -710,6 +760,17 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_OUT_PR6,
         help="output JSON path for the field-backend workload",
     )
+    parser.add_argument(
+        "--out-pr7",
+        type=Path,
+        default=DEFAULT_OUT_PR7,
+        help="output JSON path for the many-sidechains scale-out workload",
+    )
+    parser.add_argument(
+        "--scale-only",
+        action="store_true",
+        help="run only the scale-out workload (the CI bench-scale leg)",
+    )
     args = parser.parse_args(argv)
     for out in (
         args.out,
@@ -718,9 +779,14 @@ def main(argv: list[str] | None = None) -> int:
         args.out_pr4,
         args.out_pr5,
         args.out_pr6,
+        args.out_pr7,
     ):
         if not out.parent.is_dir():
             parser.error(f"output directory does not exist: {out.parent}")
+
+    if args.scale_only:
+        pr7_report = _run_scale_suite(args.out_pr7)
+        return 0 if pr7_report["ok"] else 1
 
     merkle = run_merkle_workload()
     mst = run_mst_workload()
@@ -862,9 +928,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     for name, passed in pr6_checks.items():
         print(f"  check {name}: {'ok' if passed else 'FAIL'}")
+    pr7_report = _run_scale_suite(args.out_pr7)
     print(
         f"wrote {args.out}, {args.out_pr2}, {args.out_pr3}, {args.out_pr4}, "
-        f"{args.out_pr5} and {args.out_pr6}"
+        f"{args.out_pr5}, {args.out_pr6} and {args.out_pr7}"
     )
     return 0 if all(
         r["ok"]
@@ -875,6 +942,7 @@ def main(argv: list[str] | None = None) -> int:
             pr4_report,
             pr5_report,
             pr6_report,
+            pr7_report,
         )
     ) else 1
 

@@ -23,9 +23,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterator, Sequence
 
 from repro.core.bootstrap import SidechainConfig
+from repro.core.cow import CowDict, CowSet
 from repro.core.safeguard import Safeguard
 from repro.core.transfers import (
     BackwardTransferRequest,
@@ -87,16 +88,25 @@ class CertificateRecord:
 
 @dataclass
 class SidechainEntry:
-    """Mutable mainchain-side record of one sidechain."""
+    """Mutable mainchain-side record of one sidechain.
+
+    Entries are shared structurally between state snapshots: a snapshot only
+    clones an entry the first time it mutates it (see
+    :meth:`CctpState._writable`).  The ``owner`` token records which state
+    instance may mutate this object in place.
+    """
 
     config: SidechainConfig
     status: SidechainStatus = SidechainStatus.ACTIVE
     ceased_at_height: int | None = None
     certificates: dict[int, CertificateRecord] = field(default_factory=dict)
-    nullifiers: set[bytes] = field(default_factory=set)
+    nullifiers: CowSet = field(default_factory=CowSet)
     #: Hash of the MC block containing the most recent adopted certificate —
     #: the ``H(Bw)`` anchoring BTR/CSW sysdata (Def. 4.5).
     last_cert_block_hash: bytes = b"\x00" * 32
+    #: Write-ownership token; only the :class:`CctpState` holding the same
+    #: token may mutate this entry in place.
+    owner: object | None = field(default=None, compare=False, repr=False)
 
     @property
     def last_certified_epoch(self) -> int | None:
@@ -104,15 +114,87 @@ class SidechainEntry:
         return max(self.certificates) if self.certificates else None
 
     def copy(self) -> "SidechainEntry":
-        """Independent snapshot (configs and records are immutable values)."""
+        """Snapshot sharing the nullifier layers copy-on-write.
+
+        Configs and certificate records are immutable values; the
+        certificate dict is small (one record per epoch) and cloned eagerly,
+        while the nullifier set — which grows with every BTR/CSW ever
+        processed — is shared structurally.
+        """
         return SidechainEntry(
             config=self.config,
             status=self.status,
             ceased_at_height=self.ceased_at_height,
             certificates=dict(self.certificates),
-            nullifiers=set(self.nullifiers),
+            nullifiers=self.nullifiers.copy(),
             last_cert_block_hash=self.last_cert_block_hash,
         )
+
+
+#: Number of registry shards; ledger ids are uniformly distributed digests,
+#: so the low nibble of the first byte spreads entries evenly.
+_REGISTRY_SHARDS = 16
+
+
+class ShardedRegistry:
+    """Dict-like sidechain registry sharded by ledger_id with CoW snapshots.
+
+    Sharding keeps each :class:`CowDict`'s compaction unit small: a block
+    that touches a handful of sidechains dirties only those shards, and a
+    snapshot seals 16 (mostly empty) top layers instead of diffing one big
+    dict.  The mapping surface mirrors what callers already use
+    (``get``/``[]``/``in``/``items``/``values``/``len``/iteration).
+    """
+
+    __slots__ = ("_shards",)
+
+    def __init__(self) -> None:
+        self._shards: list[CowDict] = [CowDict() for _ in range(_REGISTRY_SHARDS)]
+
+    @staticmethod
+    def _shard_index(ledger_id: bytes) -> int:
+        return ledger_id[0] % _REGISTRY_SHARDS if ledger_id else 0
+
+    def _shard(self, ledger_id: bytes) -> CowDict:
+        return self._shards[self._shard_index(ledger_id)]
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, ledger_id: bytes) -> bool:
+        return ledger_id in self._shard(ledger_id)
+
+    def __getitem__(self, ledger_id: bytes) -> SidechainEntry:
+        return self._shard(ledger_id)[ledger_id]
+
+    def get(
+        self, ledger_id: bytes, default: SidechainEntry | None = None
+    ) -> SidechainEntry | None:
+        return self._shard(ledger_id).get(ledger_id, default)
+
+    def __setitem__(self, ledger_id: bytes, entry: SidechainEntry) -> None:
+        self._shard(ledger_id)[ledger_id] = entry
+
+    def __iter__(self) -> Iterator[bytes]:
+        for shard in self._shards:
+            yield from shard
+
+    def keys(self) -> Iterator[bytes]:
+        return iter(self)
+
+    def values(self) -> Iterator[SidechainEntry]:
+        for shard in self._shards:
+            yield from shard.values()
+
+    def items(self) -> Iterator[tuple[bytes, SidechainEntry]]:
+        for shard in self._shards:
+            yield from shard.items()
+
+    def copy(self) -> "ShardedRegistry":
+        """O(dirty shards' top layers) snapshot; entries are shared."""
+        clone = ShardedRegistry()
+        clone._shards = [shard.copy() for shard in self._shards]
+        return clone
 
 
 class CctpState:
@@ -124,15 +206,48 @@ class CctpState:
     """
 
     def __init__(self) -> None:
-        self.sidechains: dict[bytes, SidechainEntry] = {}
+        self.sidechains: ShardedRegistry = ShardedRegistry()
         self.safeguard = Safeguard()
+        #: Write-ownership token: entries whose ``owner`` is this object may
+        #: be mutated in place; all others must be cloned first.
+        self._token: object = object()
+        #: Ceasing-deadline index: height -> ledger ids whose earliest
+        #: uncertified epoch's submission window closes at that height.
+        #: Slots may be stale (a later certificate pushed the real deadline
+        #: forward); :meth:`advance_to_height` re-checks before ceasing.
+        self._deadlines: CowDict = CowDict()
+        #: Highest height whose deadline slots have been processed.
+        self._advanced_to: int = -1
 
     def copy(self) -> "CctpState":
-        """Independent snapshot for fork-branch validation."""
+        """Copy-on-write snapshot for fork-branch validation.
+
+        O(entries dirtied since the last snapshot), not O(registered
+        sidechains): the registry shards, safeguard balances and deadline
+        index share sealed layers, and the individual entries are shared
+        outright.  Both instances drop write ownership of the shared entries
+        — whichever side mutates an entry next clones it into its own
+        registry first (:meth:`_writable`).
+        """
         clone = CctpState()
-        clone.sidechains = {k: v.copy() for k, v in self.sidechains.items()}
+        clone.sidechains = self.sidechains.copy()
         clone.safeguard = self.safeguard.copy()
+        clone._deadlines = self._deadlines.copy()
+        clone._advanced_to = self._advanced_to
+        # Invalidate our own ownership too: entries are now shared with the
+        # clone, so in-place writes from either side must re-clone.
+        self._token = object()
         return clone
+
+    def _writable(self, ledger_id: bytes) -> SidechainEntry:
+        """The entry for ``ledger_id``, cloned for mutation if shared."""
+        entry = self.entry(ledger_id)
+        if entry.owner is self._token:
+            return entry
+        entry = entry.copy()
+        entry.owner = self._token
+        self.sidechains[ledger_id] = entry
+        return entry
 
     # -- registry ---------------------------------------------------------------
 
@@ -146,8 +261,10 @@ class CctpState:
             raise CctpError(
                 "sidechain start_block must be strictly after the declaring block"
             )
-        self.sidechains[config.ledger_id] = SidechainEntry(config=config)
+        entry = SidechainEntry(config=config, owner=self._token)
+        self.sidechains[config.ledger_id] = entry
         self.safeguard.open(config.ledger_id)
+        self._index_deadline(config.ledger_id, entry)
 
     def entry(self, ledger_id: bytes) -> SidechainEntry:
         """The registry entry, raising :class:`UnknownSidechain` when absent."""
@@ -191,12 +308,53 @@ class CctpState:
 
     # -- withdrawal certificates -----------------------------------------------------
 
+    @staticmethod
+    def _wcert_public_input(
+        entry: SidechainEntry,
+        wcert: WithdrawalCertificate,
+        block_hash_at: Callable[[int], bytes],
+    ) -> "Sequence[int]":
+        """The mainchain-enforced ``wcert_sysdata`` public input (Def. 4.4)."""
+        schedule = entry.config.schedule
+        h_prev = (
+            block_hash_at(schedule.last_height(wcert.epoch_id - 1))
+            if wcert.epoch_id > 0
+            else b"\x00" * 32
+        )
+        h_last = block_hash_at(schedule.last_height(wcert.epoch_id))
+        return wcert.public_input(h_prev, h_last)
+
+    def certificate_verification_job(
+        self,
+        wcert: WithdrawalCertificate,
+        height: int,
+        block_hash_at: Callable[[int], bytes],
+    ) -> "tuple[proving.VerifyingKey, Sequence[int]] | None":
+        """``(vk, public_input)`` for batched proof verification, or None.
+
+        Returns None when the certificate cannot be pre-verified out of band
+        — unknown sidechain, ceased, or outside its submission window — in
+        which case the caller must fall back to inline verification (where
+        the certificate will be rejected with the precise rule error).  The
+        public input is computed by the same code path as
+        :meth:`process_certificate`, so a batched verdict is byte-equivalent
+        to the inline one.
+        """
+        entry = self.sidechains.get(wcert.ledger_id)
+        if entry is None or entry.status is SidechainStatus.CEASED:
+            return None
+        if not entry.config.schedule.in_submission_window(wcert.epoch_id, height):
+            return None
+        public_input = self._wcert_public_input(entry, wcert, block_hash_at)
+        return entry.config.wcert_vk, public_input
+
     def process_certificate(
         self,
         wcert: WithdrawalCertificate,
         height: int,
         included_in_block: bytes,
         block_hash_at: Callable[[int], bytes],
+        proof_valid: bool | None = None,
     ) -> WithdrawalCertificate | None:
         """Validate and adopt a withdrawal certificate (§4.1.2's rule list).
 
@@ -205,6 +363,11 @@ class CctpState:
         of the same epoch when the new one replaces it (the host chain then
         cancels the superseded payouts), else None.
 
+        ``proof_valid`` carries a pre-computed SNARK verdict from a batched
+        verification pass (see :meth:`certificate_verification_job`): True
+        skips the inline verify, False rejects at the same rule position,
+        None (the default) verifies inline.
+
         Raises :class:`CertificateRejected` on any rule violation.  Every
         verification is counted on ``repro_cctp_wcert_total{result}``;
         safeguard overdraw attempts additionally count on
@@ -212,7 +375,7 @@ class CctpState:
         """
         try:
             superseded = self._process_certificate(
-                wcert, height, included_in_block, block_hash_at
+                wcert, height, included_in_block, block_hash_at, proof_valid
             )
         except SafeguardViolation:
             _SAFEGUARD_REJECTIONS.inc()
@@ -230,6 +393,7 @@ class CctpState:
         height: int,
         included_in_block: bytes,
         block_hash_at: Callable[[int], bytes],
+        proof_valid: bool | None = None,
     ) -> WithdrawalCertificate | None:
         entry = self.entry(wcert.ledger_id)
         schedule = entry.config.schedule
@@ -258,15 +422,14 @@ class CctpState:
             raise CertificateRejected("proofdata does not match declared schema")
 
         # Rule 4: the SNARK proof verifies under the registered key against
-        # the mainchain-enforced sysdata.
-        h_prev = (
-            block_hash_at(schedule.last_height(wcert.epoch_id - 1))
-            if wcert.epoch_id > 0
-            else b"\x00" * 32
-        )
-        h_last = block_hash_at(schedule.last_height(wcert.epoch_id))
-        public_input = wcert.public_input(h_prev, h_last)
-        if not proving.verify(entry.config.wcert_vk, public_input, wcert.proof):
+        # the mainchain-enforced sysdata.  A batched pass may have produced
+        # the verdict already; otherwise verify inline.
+        if proof_valid is None:
+            public_input = self._wcert_public_input(entry, wcert, block_hash_at)
+            proof_valid = proving.verify(
+                entry.config.wcert_vk, public_input, wcert.proof
+            )
+        if not proof_valid:
             raise CertificateRejected("SNARK proof verification failed")
 
         # Safeguard: refund a superseded certificate before debiting.
@@ -282,35 +445,61 @@ class CctpState:
                 )
             raise
 
+        entry = self._writable(wcert.ledger_id)
         entry.certificates[wcert.epoch_id] = CertificateRecord(
             certificate=wcert,
             included_at_height=height,
             included_in_block=included_in_block,
         )
         entry.last_cert_block_hash = included_in_block
+        # Adoption may have pushed the ceasing deadline; index the new slot.
+        self._index_deadline(wcert.ledger_id, entry)
         return superseded
 
     # -- ceasing -------------------------------------------------------------------
+
+    def _index_deadline(self, ledger_id: bytes, entry: SidechainEntry) -> None:
+        """Record the entry's current ceasing deadline in the height index.
+
+        Old slots for the same sidechain are left in place and detected as
+        stale when their height is reached (re-checking the live deadline is
+        O(adopted epochs), and each slot is visited once).
+        """
+        due = self._earliest_uncertified_epoch(entry)
+        deadline = entry.config.schedule.ceasing_height(due)
+        slot = self._deadlines.get(deadline, ())
+        if ledger_id not in slot:
+            self._deadlines[deadline] = (*slot, ledger_id)
 
     def advance_to_height(self, height: int) -> list[bytes]:
         """Fire ceasing deadlines up to ``height``; returns newly ceased ids.
 
         A sidechain ceases at the first height past the submission window of
-        the earliest epoch it failed to certify (Def. 4.2).
+        the earliest epoch it failed to certify (Def. 4.2).  Deadlines are
+        indexed by height at registration and certificate adoption, so this
+        is O(sidechains actually due), not O(registered sidechains): blocks
+        that cease nothing pay only the (usually empty) slot lookups for the
+        heights they advance past.
         """
-        newly_ceased = []
-        for ledger_id, entry in self.sidechains.items():
-            if entry.status is SidechainStatus.CEASED:
-                continue
-            schedule = entry.config.schedule
-            if height < schedule.start_block:
-                continue
-            due = self._earliest_uncertified_epoch(entry)
-            deadline = schedule.ceasing_height(due)
-            if height >= deadline:
-                entry.status = SidechainStatus.CEASED
-                entry.ceased_at_height = deadline
-                newly_ceased.append(ledger_id)
+        newly_ceased: list[bytes] = []
+        if height <= self._advanced_to:
+            return newly_ceased
+        for slot_height in range(self._advanced_to + 1, height + 1):
+            for ledger_id in self._deadlines.pop(slot_height, ()):
+                entry = self.sidechains.get(ledger_id)
+                if entry is None or entry.status is SidechainStatus.CEASED:
+                    continue
+                # Re-derive the live deadline: a certificate adopted after
+                # this slot was indexed may have pushed it forward (the new
+                # slot is indexed separately), making this one stale.
+                due = self._earliest_uncertified_epoch(entry)
+                deadline = entry.config.schedule.ceasing_height(due)
+                if deadline <= height:
+                    entry = self._writable(ledger_id)
+                    entry.status = SidechainStatus.CEASED
+                    entry.ceased_at_height = deadline
+                    newly_ceased.append(ledger_id)
+        self._advanced_to = height
         return newly_ceased
 
     @staticmethod
@@ -344,6 +533,7 @@ class CctpState:
             raise CctpError("BTR proofdata does not match declared schema")
         if btr.amount <= 0:
             raise CctpError("BTR amount must be positive")
+        entry = self._writable(btr.ledger_id)
         self._consume_nullifier(entry, btr.nullifier)
         public_input = btr.public_input(entry.last_cert_block_hash)
         try:
@@ -385,6 +575,7 @@ class CctpState:
             raise CctpError("CSW proofdata does not match declared schema")
         if csw.amount <= 0:
             raise CctpError("CSW amount must be positive")
+        entry = self._writable(csw.ledger_id)
         self._consume_nullifier(entry, csw.nullifier)
         public_input = csw.public_input(entry.last_cert_block_hash)
         try:

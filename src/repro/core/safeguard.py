@@ -9,6 +9,7 @@ coins out of thin air."
 
 from __future__ import annotations
 
+from repro.core.cow import CowDict
 from repro.errors import SafeguardViolation, UnknownSidechain
 
 
@@ -16,7 +17,7 @@ class Safeguard:
     """Per-sidechain balance bookkeeping with the invariant ``balance >= 0``."""
 
     def __init__(self) -> None:
-        self._balances: dict[bytes, int] = {}
+        self._balances: CowDict = CowDict()
 
     def open(self, ledger_id: bytes) -> None:
         """Start tracking a newly created sidechain at balance zero."""
@@ -59,7 +60,11 @@ class Safeguard:
         return ledger_id
 
     def copy(self) -> "Safeguard":
-        """Independent snapshot (used when forking validation contexts)."""
+        """Copy-on-write snapshot (used when forking validation contexts).
+
+        O(dirty entries since the last snapshot), not O(sidechains): both
+        instances share the sealed balance layers and diverge lazily.
+        """
         clone = Safeguard()
-        clone._balances = dict(self._balances)
+        clone._balances = self._balances.copy()
         return clone

@@ -11,8 +11,10 @@ the active chain, which is exactly the reorg behaviour the Latus binding
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.core.cctp import CctpState
+from repro.core.cow import CowDict
 from repro.core.transfers import WithdrawalCertificate
 from repro.crypto.hashing import NULL_DIGEST, hash_bytes
 from repro.errors import (
@@ -37,6 +39,7 @@ from repro.mainchain.transaction import (
 )
 from repro.mainchain.utxo import Coin, Outpoint, TxOutput, UTXOSet
 from repro.mainchain.validation import validate_block_structure
+from repro.snark import proving
 from repro import observability
 
 _REGISTRY = observability.registry()
@@ -75,6 +78,78 @@ class PendingPayout:
     ledger_id: bytes
 
 
+#: Fold a :class:`BlockHashChain` overlay tail back into the shared prefix
+#: once it reaches this many hashes (keeps snapshot cost bounded).
+_HASH_TAIL_FOLD = 64
+
+
+class BlockHashChain:
+    """Active-chain block hashes with cheap snapshots via structural sharing.
+
+    Linear history is the common case: every connected block appends exactly
+    one hash, so all states along one branch share a single backing list and
+    each snapshot just remembers its own length.  When an append would land
+    on a slot a discarded sibling (e.g. a mined-and-abandoned template trial)
+    already claimed, the hash goes to a small private overlay tail instead of
+    cloning the whole prefix; the tail is folded back into a fresh shared
+    list once it reaches :data:`_HASH_TAIL_FOLD` entries.  Snapshots
+    therefore cost O(tail) ≤ 64 hashes instead of O(chain height).
+    """
+
+    __slots__ = ("_shared", "_shared_len", "_tail")
+
+    def __init__(self, hashes: "list[bytes] | tuple[bytes, ...]" = ()) -> None:
+        self._shared: list[bytes] = list(hashes)
+        self._shared_len = len(self._shared)
+        self._tail: list[bytes] = []
+
+    def __len__(self) -> int:
+        return self._shared_len + len(self._tail)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __getitem__(self, index: int) -> bytes:
+        length = len(self)
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError("block hash index out of range")
+        if index < self._shared_len:
+            return self._shared[index]
+        return self._tail[index - self._shared_len]
+
+    def __iter__(self) -> Iterator[bytes]:
+        for i in range(self._shared_len):
+            yield self._shared[i]
+        yield from self._tail
+
+    def append(self, block_hash: bytes) -> None:
+        if not self._tail:
+            if len(self._shared) == self._shared_len:
+                # free slot: extend the shared list in place
+                self._shared.append(block_hash)
+                self._shared_len += 1
+                return
+            if self._shared[self._shared_len] == block_hash:
+                # identical replay of a hash a sibling already wrote
+                self._shared_len += 1
+                return
+        self._tail.append(block_hash)
+
+    def copy(self) -> "BlockHashChain":
+        """Snapshot; O(tail), with an amortized fold keeping tails short."""
+        if len(self._tail) >= _HASH_TAIL_FOLD:
+            self._shared = self._shared[: self._shared_len] + self._tail
+            self._shared_len = len(self._shared)
+            self._tail = []
+        clone = BlockHashChain()
+        clone._shared = self._shared
+        clone._shared_len = self._shared_len
+        clone._tail = list(self._tail)
+        return clone
+
+
 class MainchainState:
     """The full validated state after connecting some chain of blocks."""
 
@@ -83,18 +158,28 @@ class MainchainState:
         self.utxos = UTXOSet()
         self.cctp = CctpState()
         self.height = -1
-        self.block_hashes: list[bytes] = []
+        self.block_hashes = BlockHashChain()
         # cert id -> payouts not yet matured into the UTXO set
-        self.pending_payouts: dict[bytes, list[PendingPayout]] = {}
+        self.pending_payouts: CowDict = CowDict()
+        # maturity height -> cert ids whose payouts mature there; slots may
+        # be stale after supersession (skipped when the cert id is gone)
+        self._payout_maturities: CowDict = CowDict()
 
     def copy(self) -> "MainchainState":
-        """Independent snapshot used to validate fork branches."""
+        """Copy-on-write snapshot used to validate fork branches.
+
+        Cost is proportional to the state *touched since the last snapshot*
+        (dirty UTXO entries, dirty sidechain entries, the block-hash overlay
+        tail), not to the total number of registered sidechains, coins or
+        nullifiers.
+        """
         clone = MainchainState(self.params)
         clone.utxos = self.utxos.copy()
         clone.cctp = self.cctp.copy()
         clone.height = self.height
-        clone.block_hashes = list(self.block_hashes)
-        clone.pending_payouts = {k: list(v) for k, v in self.pending_payouts.items()}
+        clone.block_hashes = self.block_hashes.copy()
+        clone.pending_payouts = self.pending_payouts.copy()
+        clone._payout_maturities = self._payout_maturities.copy()
         return clone
 
     def block_hash_at(self, height: int) -> bytes:
@@ -105,12 +190,17 @@ class MainchainState:
 
     # -- block connection ---------------------------------------------------------
 
-    def connect_block(self, block: Block) -> None:
+    def connect_block(self, block: Block, verify_pool=None) -> None:
         """Validate ``block`` statefully and apply it; raises on any rule break.
 
         The caller guarantees context-free validity and correct parent
         linkage; on exception the state must be discarded (connection is not
-        atomic).
+        atomic).  When ``verify_pool`` (a :class:`repro.snark.pool.ProverPool`)
+        is given, the block's certificate SNARK proofs are verified as one
+        chunked batch through the pool before transactions are applied;
+        otherwise they are batch-verified serially.  Either way the verdicts
+        feed the exact per-certificate rule position, so acceptance and
+        rejection are indistinguishable from inline verification.
         """
         if block.height != self.height + 1:
             raise ValidationError(
@@ -124,11 +214,12 @@ class MainchainState:
         # certificate arriving at the deadline height is already late.
         self.cctp.advance_to_height(height)
         self._mature_payouts(height)
+        verdicts = self._batched_cert_verdicts(block, verify_pool)
 
         fees = 0
         coinbase = block.transactions[0]
-        for tx in block.transactions[1:]:
-            fees += self._connect_transaction(tx, block)
+        for index, tx in enumerate(block.transactions[1:], start=1):
+            fees += self._connect_transaction(tx, block, verdicts.get(index))
             _TXS_CONNECTED.labels(type=_tx_type_label(tx)).inc()
         self._connect_coinbase(coinbase, fees, height)
 
@@ -136,20 +227,56 @@ class MainchainState:
         self.block_hashes.append(block.hash)
         _BLOCKS_CONNECTED.inc()
 
+    def _batched_cert_verdicts(self, block: Block, verify_pool) -> dict[int, bool]:
+        """Pre-verify the block's certificate proofs as one batch.
+
+        Returns ``{transaction index: proof verdict}`` for every certificate
+        whose public input is already determined (known, active sidechain,
+        in-window epoch).  Certificates outside that set are left to the
+        inline path, where they fail with the precise rule error.  Ceasing
+        deadlines must have fired for this height before the call.
+        """
+        jobs: list[tuple[int, tuple]] = []
+        for index, tx in enumerate(block.transactions):
+            if isinstance(tx, CertificateTx):
+                job = self.cctp.certificate_verification_job(
+                    tx.wcert, block.height, self.block_hash_at
+                )
+                if job is not None:
+                    vk, public_input = job
+                    jobs.append((index, (vk, public_input, tx.wcert.proof)))
+        if not jobs:
+            return {}
+        triples = [triple for _, triple in jobs]
+        if verify_pool is not None:
+            results = verify_pool.map_verify(triples)
+        else:
+            results = proving.verify_many(triples)
+        return {index: ok for (index, _), ok in zip(jobs, results)}
+
     def _mature_payouts(self, height: int) -> None:
-        for cert_id in list(self.pending_payouts):
-            payouts = self.pending_payouts[cert_id]
-            if payouts and payouts[0].maturity_height <= height:
-                for payout in payouts:
-                    self.utxos.add(
-                        payout.outpoint,
-                        Coin(
-                            output=payout.output,
-                            created_height=height,
-                            maturity_height=payout.maturity_height,
-                        ),
-                    )
-                del self.pending_payouts[cert_id]
+        """Credit payouts maturing exactly at ``height``.
+
+        Maturities are indexed by height when the certificate is adopted
+        (always in the future at that point), and connected heights are
+        consecutive, so one slot lookup replaces the scan over all pending
+        certificates.  Slots of superseded certificates are stale and
+        skipped.
+        """
+        for cert_id in self._payout_maturities.pop(height, ()):
+            payouts = self.pending_payouts.get(cert_id)
+            if payouts is None:
+                continue  # superseded before maturity
+            for payout in payouts:
+                self.utxos.add(
+                    payout.outpoint,
+                    Coin(
+                        output=payout.output,
+                        created_height=height,
+                        maturity_height=payout.maturity_height,
+                    ),
+                )
+            del self.pending_payouts[cert_id]
 
     def _connect_coinbase(self, tx: CoinTransaction, fees: int, height: int) -> None:
         allowed = self.params.block_reward + fees
@@ -162,7 +289,9 @@ class MainchainState:
             raise ValidationError("coinbase cannot carry forward transfers")
         self._create_outputs(tx, height, maturity=height + self.params.coinbase_maturity)
 
-    def _connect_transaction(self, tx: Transaction, block: Block) -> int:
+    def _connect_transaction(
+        self, tx: Transaction, block: Block, proof_valid: bool | None = None
+    ) -> int:
         """Apply one non-coinbase transaction; returns the fee it pays."""
         height = block.height
         if isinstance(tx, CoinTransaction):
@@ -171,7 +300,7 @@ class MainchainState:
             self.cctp.register_sidechain(tx.config, height)
             return 0
         if isinstance(tx, CertificateTx):
-            self._connect_certificate(tx.wcert, height, block.hash)
+            self._connect_certificate(tx.wcert, height, block.hash, proof_valid)
             return 0
         if isinstance(tx, BtrTx):
             for request in tx.requests:
@@ -224,10 +353,14 @@ class MainchainState:
             )
 
     def _connect_certificate(
-        self, wcert: WithdrawalCertificate, height: int, block_hash: bytes
+        self,
+        wcert: WithdrawalCertificate,
+        height: int,
+        block_hash: bytes,
+        proof_valid: bool | None = None,
     ) -> None:
         superseded = self.cctp.process_certificate(
-            wcert, height, block_hash, self.block_hash_at
+            wcert, height, block_hash, self.block_hash_at, proof_valid
         )
         if superseded is not None:
             self.pending_payouts.pop(superseded.id, None)
@@ -235,7 +368,7 @@ class MainchainState:
         maturity = schedule.ceasing_height(wcert.epoch_id)
         if not wcert.bt_list:
             return
-        self.pending_payouts[wcert.id] = [
+        self.pending_payouts[wcert.id] = tuple(
             PendingPayout(
                 outpoint=Outpoint(txid=wcert.id, index=index),
                 output=TxOutput(addr=bt.receiver_addr, amount=bt.amount),
@@ -243,7 +376,10 @@ class MainchainState:
                 ledger_id=wcert.ledger_id,
             )
             for index, bt in enumerate(wcert.bt_list)
-        ]
+        )
+        slot = self._payout_maturities.get(maturity, ())
+        if wcert.id not in slot:
+            self._payout_maturities[maturity] = (*slot, wcert.id)
 
 
 @dataclass
@@ -256,12 +392,17 @@ class _BlockRecord:
 class Blockchain:
     """Block store with per-block validated states and work-based fork choice."""
 
-    def __init__(self, params: MainchainParams | None = None) -> None:
+    def __init__(
+        self, params: MainchainParams | None = None, verify_pool=None
+    ) -> None:
         self.params = params or MainchainParams()
+        #: Optional :class:`repro.snark.pool.ProverPool` used to batch-verify
+        #: certificate proofs while connecting blocks.
+        self.verify_pool = verify_pool
         genesis = _make_genesis(self.params)
         genesis_state = MainchainState(self.params)
         genesis_state.height = 0
-        genesis_state.block_hashes = [genesis.hash]
+        genesis_state.block_hashes = BlockHashChain([genesis.hash])
         self._records: dict[bytes, _BlockRecord] = {
             genesis.hash: _BlockRecord(
                 block=genesis, cumulative_work=0, state=genesis_state
@@ -372,7 +513,8 @@ class Blockchain:
         validate_block_structure(block, self.params)
 
         state = parent.state.copy()
-        state.connect_block(block)  # raises on stateful invalidity
+        # raises on stateful invalidity
+        state.connect_block(block, verify_pool=self.verify_pool)
 
         work = parent.cumulative_work + block_work(block.header.target_bits)
         self._records[block.hash] = _BlockRecord(

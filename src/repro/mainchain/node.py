@@ -17,7 +17,7 @@ from repro.mainchain.chain import Blockchain, MainchainState
 from repro.mainchain.mempool import Mempool
 from repro.mainchain.params import MainchainParams
 from repro.mainchain.pow import mine_header
-from repro.mainchain.transaction import Transaction, make_coinbase
+from repro.mainchain.transaction import CertificateTx, Transaction, make_coinbase
 from repro.mainchain.validation import compute_sc_txs_commitment
 
 _TEMPLATE_DROPS = observability.registry().counter(
@@ -29,9 +29,13 @@ _TEMPLATE_DROPS = observability.registry().counter(
 class MainchainNode:
     """A self-contained mainchain node."""
 
-    def __init__(self, params: MainchainParams | None = None) -> None:
+    def __init__(
+        self, params: MainchainParams | None = None, verify_pool=None
+    ) -> None:
         self.params = params or MainchainParams()
-        self.chain = Blockchain(self.params)
+        #: Optional :class:`repro.snark.pool.ProverPool` for batched
+        #: certificate verification while connecting blocks.
+        self.chain = Blockchain(self.params, verify_pool=verify_pool)
         self.mempool = Mempool()
         self._clock = 0
 
@@ -95,8 +99,15 @@ class MainchainNode:
         trial.cctp.advance_to_height(height)
         trial._mature_payouts(height)
         selected: list[Transaction] = []
+        cert_ledgers: set[bytes] = set()
         fees = 0
         for tx in candidates:
+            if isinstance(tx, CertificateTx):
+                # The commitment tree admits one certificate per sidechain
+                # per block; later same-sidechain certificates stay queued
+                # for the next template rather than poisoning this one.
+                if tx.wcert.ledger_id in cert_ledgers:
+                    continue
             try:
                 # _connect_transaction mutates `trial` only on success for the
                 # failure modes we drop here (validation precedes mutation in
@@ -106,6 +117,8 @@ class MainchainNode:
                     tx, _TemplateBlockView(height, self.chain.tip.hash)
                 )
                 selected.append(tx)
+                if isinstance(tx, CertificateTx):
+                    cert_ledgers.add(tx.wcert.ledger_id)
             except ZendooError:
                 self.mempool.remove(tx.txid)
                 _TEMPLATE_DROPS.inc()

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.cow import CowDict
 from repro.encoding import Encoder
 from repro.errors import DoubleSpend
 
@@ -52,10 +53,14 @@ class Coin:
 
 
 class UTXOSet:
-    """A mutable map from outpoints to coins."""
+    """A mutable map from outpoints to coins.
+
+    Backed by a layered copy-on-write dict so the per-block state snapshot
+    costs O(coins touched since the last snapshot), not O(UTXO set).
+    """
 
     def __init__(self) -> None:
-        self._coins: dict[Outpoint, Coin] = {}
+        self._coins: CowDict = CowDict()
 
     def __len__(self) -> int:
         return len(self._coins)
@@ -107,7 +112,7 @@ class UTXOSet:
         return self._coins.items()
 
     def copy(self) -> "UTXOSet":
-        """Independent snapshot (coins are immutable values)."""
+        """Copy-on-write snapshot (coins are immutable values)."""
         clone = UTXOSet()
-        clone._coins = dict(self._coins)
+        clone._coins = self._coins.copy()
         return clone

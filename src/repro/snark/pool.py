@@ -150,6 +150,17 @@ def _prove_one(circuit_id: str, job_blob: bytes) -> ProveResult:
     return proving.prove_with_stats(pk, public, witness)
 
 
+def _verify_chunk(_circuit_id: str, job_blob: bytes) -> list[bool]:
+    """Verify a chunk of ``(vk, public_input, proof)`` triples in one round.
+
+    Raw :func:`repro.snark.proving.verify` calls — verdict counters live in
+    the parent process (worker-side registries are invisible to it), so the
+    parent counts the gathered results instead.
+    """
+    jobs = pickle.loads(job_blob)
+    return [proving.verify(vk, public, proof) for vk, public, proof in jobs]
+
+
 # -- parent side ---------------------------------------------------------------
 
 
@@ -171,6 +182,8 @@ class PoolStats:
     synthesis_seconds: float = 0.0
     #: Jobs whose synthesis ran through a cached constraint template.
     template_hits: int = 0
+    #: Proof verifications routed through :meth:`ProverPool.map_verify`.
+    verifications: int = 0
     #: Dispatches retried after a worker/dispatch failure.
     retries: int = 0
     #: Failures injected by an attached :class:`WorkerFaultInjector`.
@@ -200,6 +213,7 @@ class PoolStats:
             "serialization_seconds": self.serialization_seconds,
             "synthesis_seconds": self.synthesis_seconds,
             "template_hits": self.template_hits,
+            "verifications": self.verifications,
             "retries": self.retries,
             "injected_failures": self.injected_failures,
             "fallback_reason": self.fallback_reason,
@@ -447,6 +461,67 @@ class ProverPool:
             self.stats.template_hits += result.via_template
             results.append(result)
         return results
+
+    def map_verify(
+        self, jobs: Sequence[tuple["proving.VerifyingKey", Sequence[int], Any]]
+    ) -> list[bool]:
+        """Verify independent ``(vk, public_input, proof)`` triples, in order.
+
+        The batched-WCert entry point: a block's certificate proofs go out
+        as chunks sized to the worker count, and the verdict list lines up
+        positionally with ``jobs``.  A chunk that keeps failing after
+        ``max_dispatch_retries`` retries degrades the pool to serial
+        verification (identical results); a pool already in serial fallback
+        verifies in-process via :func:`repro.snark.proving.verify_many`.
+        Verdicts are counted on ``repro_snark_batch_verify_total{result}``
+        in the parent process either way, and jobs on
+        ``repro_pool_tasks_total`` / ``PoolStats.verifications``.
+        """
+        if not jobs:
+            return []
+        self.stats.verifications += len(jobs)
+        executor = self._ensure_executor()
+        if executor is None:
+            return proving.verify_many(jobs)
+
+        size = self.chunk_size or max(1, -(-len(jobs) // (self.workers * 4)))
+        chunks = [tuple(jobs[i : i + size]) for i in range(0, len(jobs), size)]
+        futures = []
+        for chunk in chunks:
+            futures.append(self._dispatch(executor, _verify_chunk, "", chunk))
+            self.stats.tasks += len(chunk)
+            _POOL_TASKS.inc(len(chunk))
+
+        results: list[bool] = []
+        for chunk, future in zip(chunks, futures):
+            verdicts = self._await_verify_chunk(executor, chunk, future)
+            if verdicts is None:  # retries exhausted; pool degraded
+                verdicts = [
+                    proving.verify(vk, public, proof)
+                    for vk, public, proof in chunk
+                ]
+            results.extend(verdicts)
+        proving.count_batch_verdicts(results)
+        return results
+
+    def _await_verify_chunk(
+        self, executor: ProcessPoolExecutor, chunk: tuple, future: Future
+    ) -> list[bool] | None:
+        """Resolve one verify chunk, retrying on failure; None = give up."""
+        if self._serial:
+            return None
+        for attempt in range(self.max_dispatch_retries + 1):
+            try:
+                return future.result()
+            except Exception as exc:
+                if attempt == self.max_dispatch_retries:
+                    self._degrade(
+                        f"verify chunk failed after {attempt} retries: {exc}"
+                    )
+                    return None
+                self._count_retry()
+                future = self._dispatch(executor, _verify_chunk, "", chunk)
+        return None
 
     def submit_prove(
         self, pk: ProvingKey, public_input: Sequence[int], witness: Any

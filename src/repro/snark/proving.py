@@ -47,6 +47,12 @@ from repro.snark.circuit import Circuit
 from repro.snark.r1cs import R1CSStats
 
 _TRACER = observability.tracer()
+_REGISTRY = observability.registry()
+_BATCH_VERIFICATIONS = _REGISTRY.counter(
+    "repro_snark_batch_verify_total",
+    "proofs checked through batched verification entry points, by result",
+    labelnames=("result",),
+)
 
 #: Constant size, in bytes, of every proof produced by this system.
 PROOF_SIZE: int = 96
@@ -235,6 +241,40 @@ def verify(vk: VerifyingKey, public_input: Sequence[int], proof: Proof) -> bool:
         return False
     expected = _binding_tag(vk, _digest_public_input(public_input))
     return _constant_time_eq(proof.data[32:], expected)
+
+
+def verify_many(
+    jobs: Sequence[tuple[VerifyingKey, Sequence[int], Proof]]
+) -> list[bool]:
+    """Verify a batch of (possibly different-key) proofs in one pass.
+
+    ``jobs`` is a sequence of ``(vk, public_input, proof)`` triples; the
+    result is positionally identical to a loop of :func:`verify` calls.
+    This is the serial fallback of
+    :meth:`repro.snark.pool.ProverPool.map_verify` and the chunk body its
+    workers run.  Every verdict is counted on
+    ``repro_snark_batch_verify_total{result}``.
+    """
+    if not jobs:
+        return []
+    with _TRACER.span("snark/batched_verify", jobs=len(jobs)):
+        results = [verify(vk, public_input, proof) for vk, public_input, proof in jobs]
+    count_batch_verdicts(results)
+    return results
+
+
+def count_batch_verdicts(results: Sequence[bool]) -> None:
+    """Record batch-verification verdicts on the observability counter.
+
+    Split out so :class:`repro.snark.pool.ProverPool` can count results it
+    gathered from worker processes (whose own registries are invisible to
+    the parent).
+    """
+    accepted = sum(results)
+    if accepted:
+        _BATCH_VERIFICATIONS.labels(result="valid").inc(accepted)
+    if accepted < len(results):
+        _BATCH_VERIFICATIONS.labels(result="invalid").inc(len(results) - accepted)
 
 
 def expect_valid(vk: VerifyingKey, public_input: Sequence[int], proof: Proof) -> None:

@@ -1,0 +1,184 @@
+"""Batched withdrawal-certificate verification: pool, serial and parity.
+
+Covers :func:`repro.snark.proving.verify_many`,
+:meth:`repro.snark.pool.ProverPool.map_verify`, and the end-to-end property
+that a chain replayed with a verification pool attached is byte-identical
+to the serially verified one — including rejection of invalid proofs at
+the same rule position.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.cctp import CctpState
+from repro.crypto.keys import KeyPair
+from repro.errors import CertificateRejected
+from repro.mainchain.chain import Blockchain
+from repro.mainchain.transaction import CertificateTx
+from repro.scenarios import ZendooHarness
+from repro.snark import proving
+from repro.snark.circuit import Circuit
+from repro.snark.pool import ProverPool, WorkerFaultInjector
+
+ALICE = KeyPair.from_seed("alice")
+
+
+class _Binding(Circuit):
+    circuit_id = "test/batched-verify"
+
+    def synthesize(self, b, public, witness):
+        b.alloc_publics(public)
+
+
+PK, VK = proving.setup(_Binding())
+
+
+def _jobs(n: int, tamper: set[int] = frozenset()):
+    jobs = []
+    for i in range(n):
+        public = (i, i + 1)
+        proof = proving.prove(PK, public, None)
+        if i in tamper:
+            proof = proving.Proof(data=b"\x13" * proving.PROOF_SIZE)
+        jobs.append((VK, public, proof))
+    return jobs
+
+
+class TestVerifyMany:
+    def test_matches_loop_of_verify(self):
+        jobs = _jobs(9, tamper={2, 5})
+        expected = [proving.verify(vk, pub, prf) for vk, pub, prf in jobs]
+        assert proving.verify_many(jobs) == expected
+        assert expected == [i not in {2, 5} for i in range(9)]
+
+    def test_empty(self):
+        assert proving.verify_many([]) == []
+
+
+class TestPoolMapVerify:
+    def test_serial_pool_matches_verify_many(self):
+        jobs = _jobs(7, tamper={0, 6})
+        with ProverPool(max_workers=1) as pool:
+            assert pool.map_verify(jobs) == proving.verify_many(jobs)
+            assert pool.stats.verifications == 7
+
+    def test_worker_pool_matches_verify_many(self):
+        jobs = _jobs(11, tamper={3})
+        with ProverPool(max_workers=2, clamp_to_cpus=False) as pool:
+            assert pool.map_verify(jobs) == proving.verify_many(jobs)
+
+    def test_order_preserved_across_chunks(self):
+        jobs = _jobs(10, tamper={1, 4, 9})
+        with ProverPool(max_workers=2, clamp_to_cpus=False, chunk_size=3) as pool:
+            verdicts = pool.map_verify(jobs)
+        assert verdicts == [i not in {1, 4, 9} for i in range(10)]
+
+    def test_fault_injection_degrades_to_identical_results(self):
+        jobs = _jobs(8, tamper={2})
+        injector = WorkerFaultInjector(failure_rate=1.0)
+        with ProverPool(
+            max_workers=2,
+            clamp_to_cpus=False,
+            max_dispatch_retries=1,
+            fault_injector=injector,
+        ) as pool:
+            verdicts = pool.map_verify(jobs)
+            assert pool.serial  # retries exhausted -> degraded
+        assert verdicts == [i != 2 for i in range(8)]
+
+    def test_empty_jobs(self):
+        with ProverPool(max_workers=1) as pool:
+            assert pool.map_verify([]) == []
+
+
+def _certified_chain():
+    """A harness run whose chain contains real certificate traffic."""
+    harness = ZendooHarness(use_network=False)
+    harness.mine(2)
+    sc = harness.create_sidechain("batch-verify", epoch_len=4, submit_len=2)
+    harness.forward_transfer(sc, ALICE, 80_000)
+    harness.run_epochs(sc, 2)
+    return harness
+
+
+class TestChainParity:
+    def test_pooled_replay_is_byte_identical(self):
+        harness = _certified_chain()
+        blocks = harness.mc.chain.active_chain()
+        assert any(
+            isinstance(tx, CertificateTx)
+            for block in blocks
+            for tx in block.transactions
+        )
+        with ProverPool(max_workers=2, clamp_to_cpus=False) as pool:
+            replay = Blockchain(harness.mc.params, verify_pool=pool)
+            for block in blocks[1:]:  # genesis is identical by construction
+                replay.add_block(block)
+            assert pool.stats.verifications > 0
+        assert replay.tip.hash == harness.mc.chain.tip.hash
+        assert (
+            replay.state.cctp.safeguard.balance(
+                next(iter(harness.sidechains))
+            )
+            == harness.mc.state.cctp.safeguard.balance(
+                next(iter(harness.sidechains))
+            )
+        )
+
+    def test_invalid_proof_rejected_identically_in_both_paths(self):
+        """A forged proof fails at the same rule whether the verdict comes
+        from the batched pipeline (``proof_valid=False``) or the inline
+        serial check (``proof_valid=None``)."""
+        from tests.test_cctp import fake_block_hash, make_cert, make_config
+
+        config = make_config()
+        height = config.schedule.last_height(0) + 1  # epoch-1 window open
+
+        def fresh_state():
+            state = CctpState()
+            state.register_sidechain(config, height=2)
+            state.advance_to_height(height)
+            return state
+
+        honest = make_cert(epoch=0, quality=1, config=config)
+        forged = replace(
+            honest, proof=proving.Proof(data=b"\xee" * proving.PROOF_SIZE)
+        )
+
+        # the batched pipeline produces a job for it (entry alive, in window)
+        job = fresh_state().certificate_verification_job(
+            forged, height, fake_block_hash
+        )
+        assert job is not None
+        vk, public = job
+        assert proving.verify_many([(vk, public, forged.proof)]) == [False]
+        assert proving.verify_many([(vk, public, honest.proof)]) == [True]
+
+        def attempt(proof_valid):
+            with pytest.raises(CertificateRejected) as err:
+                fresh_state().process_certificate(
+                    forged,
+                    height,
+                    fake_block_hash(height),
+                    fake_block_hash,
+                    proof_valid,
+                )
+            return str(err.value)
+
+        assert attempt(None) == attempt(False)
+        assert "SNARK proof verification failed" in attempt(False)
+
+    def test_verification_job_is_none_for_ceased_sidechain(self):
+        from tests.test_cctp import fake_block_hash, make_cert, make_config
+
+        config = make_config()
+        state = CctpState()
+        state.register_sidechain(config, height=2)
+        deadline = config.schedule.ceasing_height(0)
+        assert state.advance_to_height(deadline) == [config.ledger_id]
+        cert = make_cert(epoch=0, quality=1, config=config)
+        assert (
+            state.certificate_verification_job(cert, deadline, fake_block_hash)
+            is None
+        )

@@ -62,6 +62,19 @@ class TestWorkflowStructure:
         ]
         assert uploads and uploads[0]["with"]["path"] == "BENCH_pr*.json"
 
+    def test_bench_scale_leg_uploads_pr7_report(self, workflow):
+        """The PR 7 leg: the scale-out gate runs in isolation via
+        ``--scale-only`` and always uploads BENCH_pr7.json."""
+        job = workflow["jobs"]["bench-scale"]
+        assert "python -m benchmarks.smoke --scale-only" in job_commands(job)
+        uploads = [
+            step for step in job["steps"]
+            if "upload-artifact" in step.get("uses", "")
+        ]
+        assert uploads and uploads[0]["with"]["path"] == "BENCH_pr7.json"
+        assert uploads[0]["if"] == "always()"
+        assert uploads[0]["with"]["if-no-files-found"] == "error"
+
     def test_backend_parity_matrix(self, workflow):
         """The PR 6 leg: one job per field backend, never fail-fast, with
         the optional accelerator installs marked best-effort so missing

@@ -59,10 +59,17 @@ and on the incremental SCTxsCommitment roots and chain digests being
 byte-identical to a naive full rebuild.  ``--scale-only`` runs just this
 workload (the CI ``bench-scale`` leg).
 
+The storage-durability workload (``BENCH_pr8.json``) times the PR 1 MST
+bulk insert with the write-ahead journal attached (gate: <= 1.5x the
+store-less run) and a 50-block sidechain restart-from-disk against a full
+re-validated peer resync (gate: disk strictly faster).
+``--durability-only`` runs just this workload (the CI ``bench-durability``
+leg).
+
 Intended as a cheap CI gate for the MiMC/Merkle, prover performance,
-observability, template-cache, robustness, field-backend and scale-out
-layers (see docs/PERFORMANCE.md, docs/OBSERVABILITY.md and
-docs/ROBUSTNESS.md).
+observability, template-cache, robustness, field-backend, scale-out and
+durable-storage layers (see docs/PERFORMANCE.md, docs/OBSERVABILITY.md,
+docs/ROBUSTNESS.md and docs/STORAGE.md).
 """
 
 from __future__ import annotations
@@ -97,6 +104,7 @@ DEFAULT_OUT_PR4 = Path(__file__).resolve().parent.parent / "BENCH_pr4.json"
 DEFAULT_OUT_PR5 = Path(__file__).resolve().parent.parent / "BENCH_pr5.json"
 DEFAULT_OUT_PR6 = Path(__file__).resolve().parent.parent / "BENCH_pr6.json"
 DEFAULT_OUT_PR7 = Path(__file__).resolve().parent.parent / "BENCH_pr7.json"
+DEFAULT_OUT_PR8 = Path(__file__).resolve().parent.parent / "BENCH_pr8.json"
 
 _MIMC_COUNTERS = {
     "compressions": "repro_mimc_compressions_total",
@@ -699,6 +707,192 @@ def epoch_checks(epoch: dict) -> dict:
     return checks
 
 
+def run_durability_workload() -> dict:
+    """The PR 8 storage-engine workload: WAL overhead + recovery speed.
+
+    Gate (a): attaching the write-ahead journal to the PR 1 MST bulk-insert
+    path (one staged leaf-batch record + one committed block marker per
+    batch, ``fsync="block"``) must cost <= 1.5x the store-less run.
+
+    Gate (b): on a 50-block sidechain, a restart from the data directory
+    (snapshot + WAL-tail replay, digest-checked trusted replay) must be
+    strictly faster than a fresh node adopting the same chain through a
+    full peer resync that re-validates every signature — that is the whole
+    point of keeping the store.
+    """
+    import shutil
+    import tempfile
+
+    from repro.latus.node import LatusNode
+    from repro.scenarios import ZendooHarness
+    from repro.storage import SC_BLOCK, SC_LEAF_BATCH, FileStore, encode_leaf_batch
+
+    utxos: list[Utxo] = []
+    seen: set[int] = set()
+    nonce = 0
+    while len(utxos) < MST_UTXOS:
+        u = Utxo(addr=1, amount=5, nonce=nonce)
+        nonce += 1
+        position = u.position(MST_DEPTH)
+        if position not in seen:
+            seen.add(position)
+            utxos.append(u)
+
+    def bare() -> int:
+        mst = MerkleStateTree(MST_DEPTH)
+        mst.apply_batch(add=utxos)
+        return mst.root
+
+    def journaled(store: FileStore) -> int:
+        # exactly what LatusNode does per block: stage the validated leaf
+        # batch, apply, then commit everything behind one block marker
+        mst = MerkleStateTree(MST_DEPTH)
+        mst.attach_journal(
+            lambda updates: store.stage(SC_LEAF_BATCH, encode_leaf_batch(updates))
+        )
+        mst.apply_batch(add=utxos)
+        store.stage(SC_BLOCK, b"\x00" * 32)
+        store.commit()
+        return mst.root
+
+    bare_walls, journaled_walls = [], []
+    roots = set()
+    wal_bytes = 0
+    for _ in range(3):
+        start = time.perf_counter()
+        roots.add(bare())
+        bare_walls.append(time.perf_counter() - start)
+        data_dir = tempfile.mkdtemp(prefix="bench-pr8-mst-")
+        try:
+            store = FileStore(data_dir, fsync="block")
+            start = time.perf_counter()
+            roots.add(journaled(store))
+            journaled_walls.append(time.perf_counter() - start)
+            wal_bytes = store.describe()["wal_bytes"]
+            store.close()
+        finally:
+            shutil.rmtree(data_dir, ignore_errors=True)
+    wal_off, wal_on = min(bare_walls), min(journaled_walls)
+    overhead = wal_on / wal_off if wal_off else float("inf")
+
+    alice = KeyPair.from_seed("bench-pr8/alice")
+    bob = KeyPair.from_seed("bench-pr8/bob")
+    creator = KeyPair.from_seed("bench-pr8/creator")
+    data_dir = tempfile.mkdtemp(prefix="bench-pr8-sc-")
+    try:
+        harness = ZendooHarness(use_network=False)
+        harness.mine(2)
+        sc = harness.create_sidechain(
+            "bench-pr8", epoch_len=4, submit_len=2, data_dir=data_dir
+        )
+        harness.forward_transfer(sc, alice, 50_000)
+        harness.mine(2)
+        for i in range(6):
+            harness.wallet(sc, alice).pay(bob.address, 100 + i)
+            harness.run_epochs(sc, 2)
+        chain_blocks = len(sc.node.blocks)
+        tip = sc.node.tip_hash
+
+        restart_walls, resync_walls = [], []
+        recovered_ok = resynced_ok = True
+        for _ in range(2):
+            # trusted replay: digest-checked, no signature re-verification
+            start = time.perf_counter()
+            recovered = LatusNode(
+                config=sc.config,
+                params=sc.node.params,
+                mc_node=harness.mc,
+                creator=creator,
+                data_dir=data_dir,
+            )
+            restart_walls.append(time.perf_counter() - start)
+            recovered_ok &= recovered.tip_hash == tip
+            recovered.close()
+
+            # the honest alternative: a replacement node (with its own store,
+            # like any durable node) re-validating the whole chain from a peer
+            fresh_dir = tempfile.mkdtemp(prefix="bench-pr8-resync-")
+            try:
+                fresh = LatusNode(
+                    config=sc.config,
+                    params=sc.node.params,
+                    mc_node=harness.mc,
+                    creator=creator,
+                    data_dir=fresh_dir,
+                )
+                start = time.perf_counter()
+                fresh.sync_from(sc.node)
+                resync_walls.append(time.perf_counter() - start)
+                resynced_ok &= fresh.tip_hash == tip
+                fresh.close()
+            finally:
+                shutil.rmtree(fresh_dir, ignore_errors=True)
+        sc.node.close()
+    finally:
+        shutil.rmtree(data_dir, ignore_errors=True)
+    restart_wall, resync_wall = min(restart_walls), min(resync_walls)
+
+    return {
+        "workload": (
+            f"MST {MST_UTXOS}-utxo bulk insert with/without WAL + "
+            f"{chain_blocks}-block sidechain restart-from-disk vs peer resync"
+        ),
+        "mst_wal_off": {"wall_s": wal_off},
+        "mst_wal_on": {"wall_s": wal_on, "wal_bytes": wal_bytes},
+        "wal_overhead_ratio": overhead,
+        "roots_match": len(roots) == 1,
+        "chain_blocks": chain_blocks,
+        "restart_from_disk": {"wall_s": restart_wall},
+        "peer_resync": {"wall_s": resync_wall},
+        "recovery_speedup": resync_wall / restart_wall if restart_wall else float("inf"),
+        "recovered_tip_identical": recovered_ok,
+        "resynced_tip_identical": resynced_ok,
+    }
+
+
+def durability_checks(dur: dict) -> dict:
+    """The BENCH_pr8 gate: cheap WAL, recovery faster than resync."""
+    return {
+        "durability_roots_match": dur["roots_match"],
+        "durability_recovered_tip_identical": dur["recovered_tip_identical"],
+        "durability_resynced_tip_identical": dur["resynced_tip_identical"],
+        # acceptance target (a): write-ahead batching keeps the PR 1 bulk
+        # insert within 1.5x of the store-less run
+        "durability_wal_overhead_within_1_5x": dur["wal_overhead_ratio"] <= 1.5,
+        # acceptance target (b): restart-from-disk strictly beats a full
+        # re-validated peer resync of the same chain
+        "durability_restart_faster_than_resync": (
+            dur["restart_from_disk"]["wall_s"] < dur["peer_resync"]["wall_s"]
+        ),
+    }
+
+
+def _run_durability_suite(out: Path) -> dict:
+    """Run the PR 8 durability workload, write its report, print a summary."""
+    dur = run_durability_workload()
+    checks = durability_checks(dur)
+    report = {
+        "suite": "durable storage engine smoke (PR 8)",
+        "workloads": {"durability": dur},
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"durability: MST bulk insert {dur['mst_wal_off']['wall_s'] * 1e3:.1f}ms "
+        f"bare vs {dur['mst_wal_on']['wall_s'] * 1e3:.1f}ms journaled "
+        f"({dur['wal_overhead_ratio']:.2f}x, gate <= 1.5x); "
+        f"{dur['chain_blocks']}-block restart "
+        f"{dur['restart_from_disk']['wall_s'] * 1e3:.1f}ms vs peer resync "
+        f"{dur['peer_resync']['wall_s'] * 1e3:.1f}ms "
+        f"({dur['recovery_speedup']:.2f}x faster)"
+    )
+    for name, passed in checks.items():
+        print(f"  check {name}: {'ok' if passed else 'FAIL'}")
+    print(f"wrote {out}")
+    return report
+
+
 def _run_scale_suite(out: Path) -> dict:
     """Run the PR 7 scale-out workload, write its report, print a summary."""
     from benchmarks.bench_scale_sidechains import run_scale_workload, scale_checks
@@ -767,9 +961,20 @@ def main(argv: list[str] | None = None) -> int:
         help="output JSON path for the many-sidechains scale-out workload",
     )
     parser.add_argument(
+        "--out-pr8",
+        type=Path,
+        default=DEFAULT_OUT_PR8,
+        help="output JSON path for the storage-durability workload",
+    )
+    parser.add_argument(
         "--scale-only",
         action="store_true",
         help="run only the scale-out workload (the CI bench-scale leg)",
+    )
+    parser.add_argument(
+        "--durability-only",
+        action="store_true",
+        help="run only the durability workload (the CI bench-durability leg)",
     )
     args = parser.parse_args(argv)
     for out in (
@@ -780,6 +985,7 @@ def main(argv: list[str] | None = None) -> int:
         args.out_pr5,
         args.out_pr6,
         args.out_pr7,
+        args.out_pr8,
     ):
         if not out.parent.is_dir():
             parser.error(f"output directory does not exist: {out.parent}")
@@ -787,6 +993,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.scale_only:
         pr7_report = _run_scale_suite(args.out_pr7)
         return 0 if pr7_report["ok"] else 1
+    if args.durability_only:
+        pr8_report = _run_durability_suite(args.out_pr8)
+        return 0 if pr8_report["ok"] else 1
 
     merkle = run_merkle_workload()
     mst = run_mst_workload()
@@ -929,9 +1138,10 @@ def main(argv: list[str] | None = None) -> int:
     for name, passed in pr6_checks.items():
         print(f"  check {name}: {'ok' if passed else 'FAIL'}")
     pr7_report = _run_scale_suite(args.out_pr7)
+    pr8_report = _run_durability_suite(args.out_pr8)
     print(
         f"wrote {args.out}, {args.out_pr2}, {args.out_pr3}, {args.out_pr4}, "
-        f"{args.out_pr5}, {args.out_pr6} and {args.out_pr7}"
+        f"{args.out_pr5}, {args.out_pr6}, {args.out_pr7} and {args.out_pr8}"
     )
     return 0 if all(
         r["ok"]
@@ -943,6 +1153,7 @@ def main(argv: list[str] | None = None) -> int:
             pr5_report,
             pr6_report,
             pr7_report,
+            pr8_report,
         )
     ) else 1
 

@@ -48,6 +48,8 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
+    if args.data_dir is not None:
+        return _inspect_data_dir(args)
     harness = ZendooHarness()
     harness.mine(2)
     sc = harness.create_sidechain(args.seed, epoch_len=4, submit_len=2)
@@ -65,6 +67,32 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             f"  #{block.height:<3} slot={block.slot:<3} refs=[{refs}] "
             f"txs={len(block.transactions)}"
         )
+    return 0
+
+
+def _inspect_data_dir(args: argparse.Namespace) -> int:
+    """Explore a node's store on disk, without constructing a node.
+
+    ``--read-only`` (the default for safety is also read-only) opens the
+    store without touching it — no tail repair, no lock, safe against a
+    live node writing to the same directory.
+    """
+    from repro.errors import StorageError
+    from repro.storage import FileStore, format_inspection, inspect_store
+
+    try:
+        store = FileStore(args.data_dir, read_only=True)
+    except StorageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        info = inspect_store(store)
+    except StorageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        store.close()
+    print(format_inspection(info))
     return 0
 
 
@@ -136,9 +164,23 @@ def build_parser() -> argparse.ArgumentParser:
     lifecycle.add_argument("--fund", type=int, default=100_000)
     lifecycle.set_defaults(func=_cmd_lifecycle)
 
-    inspect = sub.add_parser("inspect", help="dump sidechain block structure")
+    inspect = sub.add_parser(
+        "inspect",
+        help="dump sidechain block structure, or explore a store on disk",
+    )
     inspect.add_argument("--seed", default="cli-inspect")
     inspect.add_argument("--epochs", type=int, default=1)
+    inspect.add_argument(
+        "--data-dir",
+        default=None,
+        dest="data_dir",
+        help="inspect a node's on-disk store instead of running a scenario",
+    )
+    inspect.add_argument(
+        "--read-only",
+        action="store_true",
+        help="open the store read-only (implied by --data-dir; never writes)",
+    )
     inspect.set_defaults(func=_cmd_inspect)
 
     metrics = sub.add_parser(

@@ -133,6 +133,16 @@ class NullifierReused(CctpError):
 
 
 # ---------------------------------------------------------------------------
+# Durable storage
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ZendooError):
+    """A durable-store operation failed (corrupt record, write to a
+    read-only store, recovery mismatch against the stored chain)."""
+
+
+# ---------------------------------------------------------------------------
 # Network simulator
 # ---------------------------------------------------------------------------
 

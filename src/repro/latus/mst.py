@@ -25,6 +25,9 @@ class MerkleStateTree:
         self.depth = depth
         self._tree = FixedMerkleTree(depth)
         self._touched: set[int] = set()
+        # Write-ahead journal hook: called with the validated {position:
+        # leaf} update dict *before* the tree mutates (durability layer).
+        self._journal = None
 
     # -- queries -----------------------------------------------------------------
 
@@ -127,9 +130,21 @@ class MerkleStateTree:
             planned.add(position)
             updates[position] = utxo.leaf_value
             added_positions.append(position)
+        if self._journal is not None and updates:
+            self._journal(updates)
         self._tree.set_leaves(updates)
         self._touched.update(updates)
         return removed_positions, added_positions
+
+    def apply_leaf_batch(self, updates: dict[int, int]) -> None:
+        """Write raw ``{position: leaf}`` updates (trusted WAL replay path).
+
+        Skips both validation and the journal: the updates were validated
+        when first applied and are being replayed from the store.
+        """
+        if updates:
+            self._tree.set_leaves(updates)
+            self._touched.update(updates)
 
     def add_batch(self, utxos: Iterable[Utxo]) -> list[int]:
         """Occupy every UTXO's slot in one batched update (see apply_batch)."""
@@ -148,6 +163,16 @@ class MerkleStateTree:
         """Opening of an arbitrary slot (used for non-membership)."""
         return self._tree.prove(position)
 
+    # -- write-ahead journal --------------------------------------------------------
+
+    def attach_journal(self, journal) -> None:
+        """Install a write-ahead hook: ``journal(updates)`` runs with the
+        validated ``{position: leaf}`` dict before each batched mutation."""
+        self._journal = journal
+
+    def detach_journal(self) -> None:
+        self._journal = None
+
     # -- delta tracking ------------------------------------------------------------
 
     @property
@@ -162,7 +187,12 @@ class MerkleStateTree:
     # -- snapshotting ----------------------------------------------------------------
 
     def copy(self) -> "MerkleStateTree":
-        """Independent snapshot including the touched set."""
+        """Independent snapshot including the touched set.
+
+        The journal hook is deliberately *not* inherited: copies are
+        scratch state (epoch re-proving, rollback snapshots) and must not
+        write ahead to the durable log.
+        """
         clone = MerkleStateTree(self.depth)
         clone._tree = self._tree.copy()
         clone._touched = set(self._touched)

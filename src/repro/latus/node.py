@@ -26,20 +26,23 @@ deterministic, which is also what makes reorg recovery a pure replay.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
-from repro import observability
+from repro import observability, wire
 from repro.core.bootstrap import SidechainConfig
 from repro.core.transfers import WithdrawalCertificate
 from repro.crypto.keys import KeyPair, address_of
 from repro.errors import (
     ConsensusError,
+    DecodeError,
     ForgingError,
-    NodeCrashed,
     StateTransitionError,
+    StorageError,
     UnknownBlock,
     ZendooError,
 )
+from repro.lifecycle import NodeLifecycle, resolve_store_kwarg
 from repro.latus.block import SidechainBlock, forge_block
 from repro.latus.consensus.ouroboros import (
     LeaderSchedule,
@@ -65,6 +68,18 @@ from repro.snark.recursive import CompositionStats
 from repro.mainchain.block import Block as MainchainBlock
 from repro.mainchain.node import MainchainNode
 from repro.mainchain.transaction import CertificateTx
+from repro.storage import (
+    SC_BLOCK,
+    SC_CERT,
+    SC_LEAF_BATCH,
+    SC_TX,
+    FileStore,
+    StateStore,
+    count_disk_recovery,
+    decode_leaf_batch,
+    encode_leaf_batch,
+)
+from repro.storage import codec as storage_codec
 
 _REGISTRY = observability.registry()
 _BLOCKS_FORGED = _REGISTRY.counter(
@@ -79,22 +94,8 @@ _CERTIFICATES_BUILT = _REGISTRY.counter(
     "repro_latus_certificates_built_total",
     "withdrawal certificates built at epoch close",
 ).labels()
-_NODE_CRASHES = _REGISTRY.counter(
-    "repro_node_crashes_total",
-    "simulated LatusNode crashes (in-flight state dropped)",
-).labels()
-_NODE_RESTARTS = _REGISTRY.counter(
-    "repro_node_restarts_total",
-    "LatusNode restarts (chain state rebuilt from genesis)",
-).labels()
-_NODE_SYNC_RETRIES = _REGISTRY.counter(
-    "repro_node_sync_retries_total",
-    "sync_from attempts retried after a recoverable failure",
-).labels()
-_NODE_RESYNCS = _REGISTRY.counter(
-    "repro_node_resyncs_total",
-    "successful peer resyncs (sync_from adoptions)",
-).labels()
+# Node lifecycle counters (repro_node_crashes_total and friends) live in
+# repro.lifecycle and are shared with MainchainNode.
 
 
 @dataclass
@@ -147,8 +148,11 @@ class CertificateAnchor:
     mst_delta: MstDelta
 
 
-class LatusNode:
+class LatusNode(NodeLifecycle):
     """A Latus sidechain full node bound to one mainchain node."""
+
+    _SYNC_RETRYABLE = (ConsensusError, UnknownBlock)
+    _SYNC_ERROR = ConsensusError
 
     def __init__(
         self,
@@ -160,6 +164,10 @@ class LatusNode:
         proving_strategy: str = "per_transaction",
         auto_submit_certificates: bool = True,
         proving_workers: int | None = None,
+        store: StateStore | None = None,
+        data_dir=None,
+        fsync: str = "block",
+        storage: StateStore | None = None,
     ) -> None:
         self.config = config
         self.params = params
@@ -185,15 +193,27 @@ class LatusNode:
         #: diagnostics, tests and benchmarks; never sent to the MC).
         self.last_wcert_witness: WCertWitness | None = None
 
-        #: True between :meth:`crash` and :meth:`restart`; chain-mutating
-        #: APIs refuse to run while set.
-        self.crashed = False
-        #: Lifetime restart count (diagnostics; survives restarts).
-        self.restarts = 0
-        #: Simulated seconds spent backing off inside :meth:`sync_from`.
-        self.backoff_seconds = 0.0
+        store = resolve_store_kwarg(store, storage, "LatusNode")
+        if data_dir is not None:
+            if store is not None:
+                raise StorageError("pass data_dir= or store=, not both")
+            store = FileStore(data_dir, fsync=fsync)
+        self._init_lifecycle(store)
+        #: True while replaying the store; suppresses all durable writes.
+        self._recovering = False
 
         self._reset_chain_state()
+        if self._store is not None:
+            try:
+                if not self._store.is_empty():
+                    self._recover_from_store()
+            except StorageError as exc:
+                warnings.warn(
+                    f"disk recovery failed ({exc}); starting from an empty chain",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self._reset_chain_state()
 
     # -- chain state (rebuilt wholesale on MC reorgs) ---------------------------------
 
@@ -214,6 +234,12 @@ class LatusNode:
         self.certificates = []
         self.anchors = {}
         self.skipped_slots: list[int] = []
+        self._attach_store_hooks()
+
+    def _attach_store_hooks(self) -> None:
+        """Wire the MST's write-ahead journal to the attached store."""
+        if self._store is not None:
+            self.state.mst.attach_journal(self._journal_leaf_batch)
 
     # -- public API --------------------------------------------------------------------
 
@@ -228,80 +254,283 @@ class LatusNode:
         return self.blocks[-1].hash if self.blocks else b"\x00" * 32
 
     def close(self) -> None:
-        """Release prover-side resources (the proving worker pool, if any)."""
+        """Release prover-side resources and the attached store, if any."""
         self.prover.close()
+        if self._store is not None:
+            self._store.close()
 
-    # -- crash / restart / recovery ----------------------------------------------------
+    # -- lifecycle hooks (crash/restart/sync_from live in NodeLifecycle) ----------------
 
-    def _require_running(self) -> None:
-        if self.crashed:
-            raise NodeCrashed("node has crashed; call restart() first")
-
-    def crash(self) -> None:
-        """Simulate an abrupt process death.
-
-        All in-flight state (the un-forged MC reference queue) is dropped on
-        the floor, mirroring a real crash losing everything not yet durably
-        applied; chain-mutating APIs raise :class:`~repro.errors.NodeCrashed`
-        until :meth:`restart`.  Idempotent.
-        """
-        if self.crashed:
-            return
-        self.crashed = True
+    def _drop_inflight(self) -> None:
+        # the un-forged MC reference queue and staged-but-uncommitted WAL
+        # records are exactly what a real crash loses
         self.mc_queue = []
-        _NODE_CRASHES.inc()
+        if self._store is not None and not self._store.read_only:
+            self._store.discard_staged()
 
-    def restart(self) -> None:
-        """Come back up with an empty chain, ready to resync.
-
-        The node rebuilds from genesis — crash recovery in this
-        reproduction is a pure replay (the paper's determinism property):
-        either :meth:`sync` re-derives the chain from the mainchain alone,
-        or :meth:`sync_from` adopts and fully re-validates a peer's history.
-        Wallet-submitted transactions survive (:attr:`submitted_txs` models
-        the durable mempool); everything else is rebuilt.
-        """
-        self.crashed = False
-        self.restarts += 1
+    def _reset_for_restart(self) -> None:
         self._reset_chain_state()
-        _NODE_RESTARTS.inc()
 
-    def sync_from(
-        self,
-        peer: "LatusNode",
-        max_retries: int = 5,
-        base_backoff: float = 0.05,
-    ) -> int:
-        """Adopt a peer's chain after a restart; returns blocks adopted.
-
-        Every peer block passes the full :meth:`receive_block` validation,
-        so a malicious peer cannot smuggle an invalid history in.  Attempts
-        that fail recoverably — missing MC ancestors because this node's
-        mainchain view lags the peer's, or a history that does not connect
-        yet — are retried up to ``max_retries`` times with exponential
-        backoff (simulated seconds accumulated on :attr:`backoff_seconds`
-        and counted on ``repro_node_sync_retries_total``); the MC view is
-        re-read before each attempt, which is the catch-up path.
-        """
-        self._require_running()
-        delay = base_backoff
-        last_error: Exception | None = None
-        for attempt in range(max_retries + 1):
-            if attempt:
-                _NODE_SYNC_RETRIES.inc()
-                self.backoff_seconds += delay
-                delay *= 2
-            try:
-                self._reset_chain_state()
-                self.bootstrap_from(list(peer.blocks))
-            except (ConsensusError, UnknownBlock) as exc:
-                last_error = exc
-                continue
-            _NODE_RESYNCS.inc()
-            return len(self.blocks)
+    def _adopt_peer_chain(self, peer: "LatusNode") -> None:
         self._reset_chain_state()
-        raise ConsensusError(
-            f"sync_from failed after {max_retries} retries: {last_error}"
+        if self._store is not None:
+            self._store.reset()
+        self.bootstrap_from(list(peer.blocks))
+
+    def _chain_length(self) -> int:
+        return len(self.blocks)
+
+    # -- durability ---------------------------------------------------------------------
+
+    def _journal_leaf_batch(self, updates: dict[int, int]) -> None:
+        """MST write-ahead hook: stage the leaf batch before the tree mutates."""
+        if self._store is not None and not self._recovering:
+            self._store.stage(SC_LEAF_BATCH, encode_leaf_batch(updates))
+
+    def _persist_block(self, block: SidechainBlock) -> None:
+        """Commit a block record plus its staged leaf batches with one sync."""
+        if self._store is not None and not self._recovering:
+            self._store.stage(SC_BLOCK, wire.encode_sidechain_block(block))
+            self._store.commit()
+
+    def _snapshot_sections(self) -> dict[str, bytes]:
+        return {
+            "latus/meta": storage_codec.encode_latus_meta(
+                self.epoch.epoch_id,
+                self.last_referenced_mc_height,
+                self.skipped_slots,
+            ),
+            "latus/state": storage_codec.encode_latus_state(self.state),
+            "latus/epoch": storage_codec.encode_epoch_ledger(self.epoch),
+            "latus/blocks": storage_codec.encode_blob_sequence(
+                [wire.encode_sidechain_block(b) for b in self.blocks]
+            ),
+            "latus/utxos": storage_codec.encode_utxo_index(self.utxo_index),
+            "latus/synced_mc": storage_codec.encode_synced_mc(self.synced_mc),
+            "latus/consensus": storage_codec.encode_consensus(
+                self._epoch_seeds, self._epoch_stakes
+            ),
+            "latus/certs": storage_codec.encode_blob_sequence(
+                [c.encode() for c in self.certificates]
+            ),
+            "latus/anchors": storage_codec.encode_anchors(self.anchors),
+            "latus/submitted": storage_codec.encode_blob_sequence(
+                [tx.encode() for tx in self.submitted_txs]
+            ),
+        }
+
+    def _persist_snapshot(self) -> None:
+        """Write a full snapshot (compacting the WAL into it)."""
+        if self._store is not None and not self._recovering:
+            self._store.write_snapshot(
+                self.epoch.epoch_id, self._snapshot_sections()
+            )
+
+    def _reset_durable_state(self) -> None:
+        """Wipe and re-seed the store after a reorg invalidated its history."""
+        if self._store is not None and not self._recovering:
+            self._store.reset()
+            if self.blocks:
+                self._persist_snapshot()
+
+    # -- disk recovery ------------------------------------------------------------------
+
+    def _recover_from_store(self) -> bool:
+        """Replay ``snapshot + WAL`` back to the pre-crash chain.
+
+        Returns True when a chain was recovered.  Replay is *trusted*:
+        blocks came from this node's own validated history, so signature,
+        leadership and derivation checks are skipped and epochs whose
+        certificate made it to the log are not re-proven — which is what
+        makes disk recovery strictly faster than a full peer resync.  Every
+        replayed block's state digest is still checked, so corruption
+        cannot slip through; any mismatch raises
+        :class:`~repro.errors.StorageError` and the caller falls back to an
+        empty chain.
+        """
+        store = self._store
+        snapshot = store.latest_snapshot()
+        records = store.records()
+        if snapshot is None and not records:
+            return False
+        self._recovering = True
+        try:
+            if snapshot is not None:
+                self._restore_snapshot(snapshot[1])
+            self._replay_wal(records)
+        except DecodeError as exc:
+            raise StorageError(f"undecodable store record: {exc}") from exc
+        finally:
+            self._recovering = False
+        # one fresh snapshot folds the replayed WAL back in: recovery is
+        # idempotent and the node is immediately durable again
+        self._persist_snapshot()
+        self._resubmit_reverted_certificates()
+        count_disk_recovery()
+        return True
+
+    def _restore_snapshot(self, sections: dict[str, bytes]) -> None:
+        try:
+            self.state = storage_codec.decode_latus_state(sections["latus/state"])
+            _, last_ref, skipped = storage_codec.decode_latus_meta(
+                sections["latus/meta"]
+            )
+            self.epoch = storage_codec.decode_epoch_ledger(sections["latus/epoch"])
+            blocks = [
+                wire.decode_sidechain_block(raw)
+                for raw in storage_codec.decode_blob_sequence(
+                    sections["latus/blocks"]
+                )
+            ]
+            self.utxo_index = storage_codec.decode_utxo_index(
+                sections["latus/utxos"]
+            )
+            synced = storage_codec.decode_synced_mc(sections["latus/synced_mc"])
+            seeds, stakes = storage_codec.decode_consensus(
+                sections["latus/consensus"]
+            )
+            self.certificates = [
+                wire.decode_withdrawal_certificate(raw)
+                for raw in storage_codec.decode_blob_sequence(
+                    sections["latus/certs"]
+                )
+            ]
+            self.anchors = storage_codec.decode_anchors(sections["latus/anchors"])
+            restored_txs = [
+                wire.decode_latus_transaction(raw)
+                for raw in storage_codec.decode_blob_sequence(
+                    sections["latus/submitted"]
+                )
+            ]
+        except KeyError as exc:
+            raise StorageError(f"snapshot is missing section {exc}")
+        self.blocks = blocks
+        self.last_referenced_mc_height = last_ref
+        self.skipped_slots = list(skipped)
+        self._epoch_seeds = seeds
+        self._epoch_stakes = stakes
+        self.included_txids = {
+            tx.txid for block in blocks for tx in block.transactions
+        }
+        # merge the durable wallet mempool with anything already in memory
+        known = {tx.txid for tx in self.submitted_txs}
+        self.submitted_txs.extend(
+            tx for tx in restored_txs if tx.txid not in known
+        )
+        # MC heights synced but not yet referenced were queued in memory at
+        # crash time; dropping them lets the next sync() re-process them
+        self.synced_mc = [(h, hsh) for h, hsh in synced if h <= last_ref]
+        self.mc_queue = []
+        # rollback points below the tip cannot be reconstructed from a
+        # snapshot; a reorg that deep falls back to a full rebuild
+        self.block_snapshots = [None] * (len(blocks) - 1) if blocks else []
+        if blocks:
+            self._capture_snapshot()
+        self._attach_store_hooks()
+
+    def _replay_wal(self, records: list[tuple[int, bytes]]) -> None:
+        staged_batches: list[dict[int, int]] = []
+        index = 0
+        while index < len(records):
+            kind, payload = records[index]
+            if kind == SC_TX:
+                tx = wire.decode_latus_transaction(payload)
+                if tx.txid not in {t.txid for t in self.submitted_txs}:
+                    self.submitted_txs.append(tx)
+            elif kind == SC_LEAF_BATCH:
+                staged_batches.append(decode_leaf_batch(payload))
+            elif kind == SC_BLOCK:
+                block = wire.decode_sidechain_block(payload)
+                merged: dict[int, int] = {}
+                for batch in staged_batches:
+                    merged.update(batch)
+                staged_batches = []
+                self._replay_block(block, merged if merged else None)
+                boundary = (
+                    block.mc_refs
+                    and block.mc_refs[-1].mc_height
+                    == self.config.schedule.last_height(self.epoch.epoch_id)
+                )
+                if boundary:
+                    if (
+                        index + 1 < len(records)
+                        and records[index + 1][0] == SC_CERT
+                    ):
+                        certificate = wire.decode_withdrawal_certificate(
+                            records[index + 1][1]
+                        )
+                        self._restore_certificate(certificate)
+                        index += 1
+                    else:
+                        # the crash hit between the block commit and the
+                        # certificate record: re-prove the epoch
+                        self._close_withdrawal_epoch(block)
+                self._capture_snapshot()
+            elif kind == SC_CERT:
+                # certificate whose boundary block is in the snapshot
+                certificate = wire.decode_withdrawal_certificate(payload)
+                if not any(c.id == certificate.id for c in self.certificates):
+                    self._restore_certificate(certificate)
+            else:
+                raise StorageError(
+                    f"unexpected mainchain record (kind {kind}) in a Latus store"
+                )
+            index += 1
+        # Leaf batches after the last block record belong to a block whose
+        # commit marker never hit the disk — the WAL tail the recovery
+        # contract allows to drop (the tree never applied them pre-crash
+        # only if the process died mid-group; either way the deterministic
+        # resync covers the difference).  Silently ignored.
+
+    def _replay_block(
+        self, block: SidechainBlock, updates: dict[int, int] | None
+    ) -> None:
+        """Apply one previously-validated block from the WAL (trusted path)."""
+        if block.parent_hash != self.tip_hash:
+            raise StorageError("WAL block does not extend the stored chain")
+        if block.height != self.height + 1:
+            raise StorageError("WAL block height does not match the stored chain")
+        self._ensure_consensus_epoch(block.slot // self.params.slots_per_epoch)
+        if updates is None:
+            updates = _derive_leaf_updates(block, self.params.mst_depth)
+        self.state.mst.apply_leaf_batch(updates)
+        for tx in block.ordered_transitions():
+            self._index_transition(tx)
+            self.state.backward_transfers.extend(_transition_bts(tx))
+        if self.state.digest() != block.state_digest:
+            raise StorageError(
+                f"replayed state digest mismatch at height {block.height}"
+            )
+        self.blocks.append(block)
+        self.included_txids.update(tx.txid for tx in block.transactions)
+        if block.mc_refs:
+            self.last_referenced_mc_height = block.mc_refs[-1].mc_height
+            top = self.synced_mc[-1][0] if self.synced_mc else -1
+            for ref in block.mc_refs:
+                if ref.mc_height > top:
+                    self.synced_mc.append((ref.mc_height, ref.mc_block_hash))
+                    top = ref.mc_height
+        self.epoch.transitions.extend(block.ordered_transitions())
+        self.epoch.referenced_mc_hashes.extend(
+            ref.mc_block_hash for ref in block.mc_refs
+        )
+
+    def _restore_certificate(self, certificate: WithdrawalCertificate) -> None:
+        """Adopt a logged certificate at an epoch boundary without re-proving."""
+        epoch_id = self.epoch.epoch_id
+        final_state = self.state.copy()
+        self.certificates.append(certificate)
+        self.anchors[epoch_id] = CertificateAnchor(
+            certificate=certificate,
+            mst_root=final_state.mst_root,
+            state_snapshot=final_state,
+            mst_delta=MstDelta.from_positions(
+                self.params.mst_depth, final_state.mst.touched_positions
+            ),
+        )
+        self.state.start_new_epoch()
+        self.epoch = EpochLedger(
+            epoch_id=epoch_id + 1, start_state=self.state.copy()
         )
 
     def add_forger(self, keypair: KeyPair) -> None:
@@ -321,6 +550,8 @@ class LatusNode:
                 "FTTx/BTRTx are MC-defined; they cannot be submitted directly"
             )
         self.submitted_txs.append(tx)
+        if self._store is not None and not self._recovering:
+            self._store.append(SC_TX, tx.encode())
 
     def pending_transactions(self) -> list[LatusTransaction]:
         """Submitted transactions not yet included in a block."""
@@ -395,8 +626,15 @@ class LatusNode:
         if keep == 0:
             # the entire sidechain history referenced the orphaned branch
             self._reset_chain_state()
+            self._reset_durable_state()
             return
         snapshot = self.block_snapshots[keep - 1]
+        if snapshot is None:
+            # a disk-recovered node only has the tip rollback point; a reorg
+            # reaching below the recovered snapshot falls back to a rebuild
+            self._reset_chain_state()
+            self._reset_durable_state()
+            return
         self.blocks = self.blocks[:keep]
         self.block_snapshots = self.block_snapshots[:keep]
         self.state = snapshot.state.copy()
@@ -414,6 +652,10 @@ class LatusNode:
             (h, block_hash) for h, block_hash in self.synced_mc if h < divergence
         ]
         self.mc_queue = []
+        self._attach_store_hooks()
+        # the store's history now diverges from the chain: re-seed it with a
+        # fresh snapshot of the post-rollback state
+        self._reset_durable_state()
         self._resubmit_reverted_certificates()
 
     def _resubmit_reverted_certificates(self) -> None:
@@ -556,6 +798,9 @@ class LatusNode:
         self.last_referenced_mc_height = mc_batch[-1].height
         self.epoch.transitions.extend(block.ordered_transitions())
         self.epoch.referenced_mc_hashes.extend(b.hash for b in mc_batch)
+        # the block record is the commit marker for the leaf batches the
+        # journal staged while the transitions applied: one sync per block
+        self._persist_block(block)
         return block
 
     def _index_transition(self, tx: LatusTransaction) -> None:
@@ -621,11 +866,18 @@ class LatusNode:
             except ZendooError:
                 pass  # duplicate after a rebuild: already queued/confirmed
 
+        if self._store is not None and not self._recovering:
+            # the certificate record lets recovery skip re-proving; if the
+            # crash lands before it, replay re-proves the epoch instead
+            self._store.append(SC_CERT, certificate.encode())
+
         # Start the next withdrawal epoch (§5.2.1: BT list is transient).
         self.state.start_new_epoch()
         self.epoch = EpochLedger(
             epoch_id=epoch_id + 1, start_state=self.state.copy()
         )
+        # epoch boundaries are the periodic snapshot points: fold the log in
+        self._persist_snapshot()
 
     def _epoch_boundary_hash(self, epoch_id: int) -> bytes:
         """Active-chain hash of a withdrawal epoch's last MC block."""
@@ -690,11 +942,18 @@ class LatusNode:
             expected_height += 1
 
         working = self.state
-        for tx in block.ordered_transitions():
-            working.apply(tx)  # raises StateTransitionError on invalidity
-            self._index_transition(tx)
-        if working.digest() != block.state_digest:
-            raise ConsensusError("state digest mismatch")
+        try:
+            for tx in block.ordered_transitions():
+                working.apply(tx)  # raises StateTransitionError on invalidity
+                self._index_transition(tx)
+            if working.digest() != block.state_digest:
+                raise ConsensusError("state digest mismatch")
+        except (ConsensusError, StateTransitionError):
+            # journaled leaf batches from the rejected block must not ride
+            # the next block's commit
+            if self._store is not None and not self._store.read_only:
+                self._store.discard_staged()
+            raise
 
         self.blocks.append(block)
         _BLOCKS_RECEIVED.inc()
@@ -708,6 +967,7 @@ class LatusNode:
         self.epoch.referenced_mc_hashes.extend(
             ref.mc_block_hash for ref in block.mc_refs
         )
+        self._persist_block(block)
         if (
             block.mc_refs
             and block.mc_refs[-1].mc_height
@@ -724,3 +984,39 @@ def _ref_transitions(ref: MCBlockReference) -> list[LatusTransaction]:
     if ref.bt_requests is not None:
         transitions.append(ref.bt_requests)
     return transitions
+
+
+def _transition_bts(tx: LatusTransaction) -> list:
+    """Backward transfers one applied transition appends to the state."""
+    if isinstance(tx, BackwardTransferTx):
+        return list(tx.backward_transfers)
+    if isinstance(tx, ForwardTransfersTx):
+        return list(tx.rejected)
+    if isinstance(tx, BackwardTransferRequestsTx):
+        return list(tx.backward_transfers)
+    return []
+
+
+def _derive_leaf_updates(block: SidechainBlock, depth: int) -> dict[int, int]:
+    """The ``{position: leaf}`` MST updates a validated block's transitions
+    produce — the fallback when a WAL block has no preceding leaf-batch
+    records (e.g. a store written before write-ahead journaling attached)."""
+    from repro.crypto.fixed_merkle import EMPTY_LEAF
+
+    updates: dict[int, int] = {}
+    for tx in block.ordered_transitions():
+        if isinstance(tx, PaymentTx):
+            for signed in tx.inputs:
+                updates[signed.utxo.position(depth)] = EMPTY_LEAF
+            for utxo in tx.outputs:
+                updates[utxo.position(depth)] = utxo.leaf_value
+        elif isinstance(tx, BackwardTransferTx):
+            for signed in tx.inputs:
+                updates[signed.utxo.position(depth)] = EMPTY_LEAF
+        elif isinstance(tx, ForwardTransfersTx):
+            for utxo in tx.outputs:
+                updates[utxo.position(depth)] = utxo.leaf_value
+        elif isinstance(tx, BackwardTransferRequestsTx):
+            for utxo in tx.inputs:
+                updates[utxo.position(depth)] = EMPTY_LEAF
+    return updates

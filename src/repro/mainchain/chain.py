@@ -21,9 +21,11 @@ from repro.errors import (
     DoubleSpend,
     InsufficientFunds,
     OrphanBlock,
+    StorageError,
     UnknownBlock,
     ValidationError,
 )
+from repro.lifecycle import resolve_store_kwarg
 from repro.mainchain.block import Block, BlockHeader
 from repro.mainchain.params import MainchainParams
 from repro.mainchain.pow import block_work
@@ -390,15 +392,34 @@ class _BlockRecord:
 
 
 class Blockchain:
-    """Block store with per-block validated states and work-based fork choice."""
+    """Block store with per-block validated states and work-based fork choice.
+
+    Attach a :class:`~repro.storage.StateStore` (``store=`` or the
+    deprecated ``storage=`` alias) to make the chain durable: every
+    accepted block is appended to the WAL and a full snapshot (active
+    chain + tip state) is written whenever the tip advances onto a
+    ``snapshot_interval`` boundary.  Constructing a :class:`Blockchain`
+    over a non-empty store recovers the chain from disk: snapshot blocks
+    are restored without re-validation (historical states are pruned —
+    only the tip keeps one) and the WAL tail is replayed through the full
+    :meth:`add_block` validation.
+    """
 
     def __init__(
-        self, params: MainchainParams | None = None, verify_pool=None
+        self,
+        params: MainchainParams | None = None,
+        verify_pool=None,
+        store=None,
+        snapshot_interval: int = 16,
+        storage=None,
     ) -> None:
         self.params = params or MainchainParams()
         #: Optional :class:`repro.snark.pool.ProverPool` used to batch-verify
         #: certificate proofs while connecting blocks.
         self.verify_pool = verify_pool
+        self._store = resolve_store_kwarg(store, storage, "Blockchain")
+        self.snapshot_interval = snapshot_interval
+        self._recovering = False
         genesis = _make_genesis(self.params)
         genesis_state = MainchainState(self.params)
         genesis_state.height = 0
@@ -410,6 +431,13 @@ class Blockchain:
         }
         self.genesis = genesis
         self._active_tip = genesis.hash
+        if self._store is not None and not self._store.is_empty():
+            self._recover_from_store()
+
+    @property
+    def store(self):
+        """The attached :class:`~repro.storage.StateStore` (or None)."""
+        return self._store
 
     # -- queries ------------------------------------------------------------------
 
@@ -520,21 +548,142 @@ class Blockchain:
         self._records[block.hash] = _BlockRecord(
             block=block, cumulative_work=work, state=state
         )
-        if work > self._records[self._active_tip].cumulative_work:
+        became_tip = work > self._records[self._active_tip].cumulative_work
+        if became_tip:
             self._active_tip = block.hash
-            return True
-        return False
+        if self._store is not None and not self._recovering:
+            from repro.storage import MC_BLOCK
+
+            self._store.append(MC_BLOCK, block.encode())
+            if (
+                became_tip
+                and self.snapshot_interval
+                and block.height % self.snapshot_interval == 0
+            ):
+                self._write_snapshot()
+        return became_tip
 
     def state_at(self, block_hash: bytes) -> MainchainState:
         """The validated state after ``block_hash`` (any branch).
 
         Returns a defensive copy: callers may mutate the result freely
-        without corrupting the branch's recorded state.
+        without corrupting the branch's recorded state.  Blocks restored
+        from a snapshot keep no historical state (pruning horizon) — only
+        the recovered tip and blocks connected since have one.
         """
         try:
-            return self._records[block_hash].state.copy()
+            record = self._records[block_hash]
         except KeyError:
             raise UnknownBlock(f"unknown block {block_hash.hex()[:16]}")
+        if record.state is None:
+            raise UnknownBlock(
+                f"state for {block_hash.hex()[:16]} was pruned by disk recovery"
+            )
+        return record.state.copy()
+
+    # -- durability ----------------------------------------------------------------
+
+    def _write_snapshot(self) -> None:
+        """Write a full snapshot (active chain + tip state), compacting the WAL."""
+        if self._store is None or self._recovering:
+            return
+        from repro.storage import codec as storage_codec
+
+        sections = {
+            "mc/blocks": storage_codec.encode_blob_sequence(
+                [b.encode() for b in self.active_chain()]
+            ),
+            "mc/state": storage_codec.encode_mainchain_state(self.state),
+        }
+        self._store.write_snapshot(self.height, sections)
+
+    def _recover_from_store(self) -> None:
+        """Restore ``snapshot + WAL tail`` from the attached store.
+
+        Snapshot blocks are trusted (they were fully validated before being
+        written by this node) and restored without re-validation; the WAL
+        tail goes through the regular :meth:`add_block` path.  Raises
+        :class:`~repro.errors.StorageError` when the stored chain does not
+        match this chain's parameters (different genesis) or is internally
+        inconsistent.
+        """
+        from repro import wire
+        from repro.storage import MC_BLOCK, count_disk_recovery
+
+        snapshot = self._store.latest_snapshot()
+        records = self._store.records()
+        self._recovering = True
+        try:
+            if snapshot is not None:
+                self._restore_snapshot(snapshot[1])
+            for kind, payload in records:
+                if kind != MC_BLOCK:
+                    raise StorageError(
+                        f"unexpected sidechain record (kind {kind}) in a "
+                        "mainchain store"
+                    )
+                try:
+                    block = wire.decode_block(payload)
+                except Exception as exc:
+                    raise StorageError(f"corrupt WAL block: {exc}")
+                if block.hash in self._records:
+                    continue
+                parent = self._records.get(block.header.prev_hash)
+                if parent is None or parent.state is None:
+                    # a fork tail hanging off a pruned (stateless) ancestor
+                    # cannot be reconnected; the active chain never needs it
+                    continue
+                try:
+                    self.add_block(block)
+                except (ValidationError, OrphanBlock) as exc:
+                    raise StorageError(f"WAL block failed re-validation: {exc}")
+        finally:
+            self._recovering = False
+        # fold the replayed WAL into a fresh snapshot: recovery is idempotent
+        self._write_snapshot()
+        count_disk_recovery()
+
+    def _restore_snapshot(self, sections: dict[str, bytes]) -> None:
+        from repro import wire
+        from repro.storage import codec as storage_codec
+
+        try:
+            raw_blocks = storage_codec.decode_blob_sequence(sections["mc/blocks"])
+            state = storage_codec.decode_mainchain_state(
+                sections["mc/state"], self.params
+            )
+        except KeyError as exc:
+            raise StorageError(f"snapshot is missing section {exc}")
+        try:
+            blocks = [wire.decode_block(raw) for raw in raw_blocks]
+        except Exception as exc:
+            raise StorageError(f"corrupt snapshot block: {exc}")
+        if not blocks:
+            raise StorageError("snapshot holds no blocks")
+        if blocks[0].hash != self.genesis.hash:
+            raise StorageError(
+                "stored chain has a different genesis (wrong network?)"
+            )
+        for prev, block in zip(blocks, blocks[1:]):
+            if block.header.prev_hash != prev.hash:
+                raise StorageError("stored chain is not hash-linked")
+            if block.height != prev.height + 1:
+                raise StorageError("stored chain heights are not contiguous")
+        tip = blocks[-1]
+        state.height = tip.height
+        state.block_hashes = BlockHashChain([b.hash for b in blocks])
+        self._records = {}
+        work = 0
+        for block in blocks:
+            if block.height > 0:
+                work += block_work(block.header.target_bits)
+            self._records[block.hash] = _BlockRecord(
+                block=block, cumulative_work=work, state=None
+            )
+        self._records[tip.hash] = _BlockRecord(
+            block=tip, cumulative_work=work, state=state
+        )
+        self._active_tip = tip.hash
 
 
 def _make_genesis(params: MainchainParams) -> Block:

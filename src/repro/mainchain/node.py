@@ -11,7 +11,8 @@ work.
 from __future__ import annotations
 
 from repro import observability
-from repro.errors import ZendooError
+from repro.errors import StorageError, ValidationError, ZendooError
+from repro.lifecycle import NodeLifecycle, resolve_store_kwarg
 from repro.mainchain.block import Block, BlockHeader, transactions_merkle_root
 from repro.mainchain.chain import Blockchain, MainchainState
 from repro.mainchain.mempool import Mempool
@@ -26,18 +27,116 @@ _TEMPLATE_DROPS = observability.registry().counter(
 ).labels()
 
 
-class MainchainNode:
-    """A self-contained mainchain node."""
+class MainchainNode(NodeLifecycle):
+    """A self-contained mainchain node.
+
+    Shares the crash/restart/resync lifecycle with
+    :class:`~repro.latus.node.LatusNode` (same method names, same
+    ``repro_node_*`` counters).  ``store=`` / ``data_dir=`` attach a durable
+    :class:`~repro.storage.StateStore` to the underlying
+    :class:`Blockchain`, and ``restart(data_dir=...)`` recovers the chain
+    from disk.
+    """
+
+    _SYNC_RETRYABLE = (ValidationError, ZendooError)
+    _SYNC_ERROR = ValidationError
 
     def __init__(
-        self, params: MainchainParams | None = None, verify_pool=None
+        self,
+        params: MainchainParams | None = None,
+        verify_pool=None,
+        store=None,
+        data_dir=None,
+        fsync: str = "block",
+        snapshot_interval: int = 16,
+        storage=None,
     ) -> None:
         self.params = params or MainchainParams()
         #: Optional :class:`repro.snark.pool.ProverPool` for batched
         #: certificate verification while connecting blocks.
-        self.chain = Blockchain(self.params, verify_pool=verify_pool)
+        self.verify_pool = verify_pool
+        self.snapshot_interval = snapshot_interval
+        store = resolve_store_kwarg(store, storage, "MainchainNode")
+        if data_dir is not None:
+            if store is not None:
+                raise StorageError("pass data_dir= or store=, not both")
+            from repro.storage import FileStore
+
+            store = FileStore(data_dir, fsync=fsync)
+        self._init_lifecycle(store)
+        try:
+            self.chain = Blockchain(
+                self.params,
+                verify_pool=verify_pool,
+                store=store,
+                snapshot_interval=snapshot_interval,
+            )
+        except StorageError as exc:
+            import warnings
+
+            warnings.warn(
+                f"disk recovery failed ({exc}); starting from genesis",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            if store is not None:
+                store.reset()
+            self.chain = Blockchain(
+                self.params,
+                verify_pool=verify_pool,
+                store=store,
+                snapshot_interval=snapshot_interval,
+            )
         self.mempool = Mempool()
         self._clock = 0
+
+    # -- lifecycle hooks ------------------------------------------------------------
+
+    def _drop_inflight(self) -> None:
+        self.mempool.clear()
+        if self._store is not None and not self._store.read_only:
+            self._store.discard_staged()
+
+    def _reset_for_restart(self) -> None:
+        self.chain = Blockchain(self.params, verify_pool=self.verify_pool)
+        self.mempool = Mempool()
+        self._clock = 0
+
+    def _recover_from_store(self) -> bool:
+        # the Blockchain constructor performs the actual snapshot + WAL
+        # replay; StorageError propagates to NodeLifecycle.restart, which
+        # falls back to the empty chain
+        chain = Blockchain(
+            self.params,
+            verify_pool=self.verify_pool,
+            store=self._store,
+            snapshot_interval=self.snapshot_interval,
+        )
+        if chain.height == 0 and self._store.is_empty():
+            return False
+        self.chain = chain
+        self._clock = max(self._clock, chain.tip.header.timestamp)
+        return True
+
+    def _adopt_peer_chain(self, peer: "MainchainNode") -> None:
+        chain = Blockchain(self.params, verify_pool=self.verify_pool)
+        for block in peer.chain.active_chain()[1:]:
+            chain.add_block(block)
+        self.chain = chain
+        self._clock = max(self._clock, chain.tip.header.timestamp)
+        if self._store is not None:
+            # re-seed the store with the adopted chain
+            self._store.reset()
+            chain._store = self._store
+            chain._write_snapshot()
+
+    def _chain_length(self) -> int:
+        return self.chain.height + 1
+
+    def close(self) -> None:
+        """Release the attached store, if any."""
+        if self._store is not None:
+            self._store.close()
 
     # -- convenience accessors ------------------------------------------------------
 
@@ -53,6 +152,7 @@ class MainchainNode:
 
     def submit_transaction(self, tx: Transaction) -> None:
         """Queue a transaction for mining."""
+        self._require_running()
         self.mempool.submit(tx)
 
     # -- mining -----------------------------------------------------------------------
@@ -65,6 +165,7 @@ class MainchainNode:
         overrides the node's internal clock (used by retargeting tests to
         simulate fast/slow hash rates).
         """
+        self._require_running()
         parent = self.chain.tip
         height = parent.height + 1
         selected, fees = self._select_transactions(height)
@@ -128,6 +229,7 @@ class MainchainNode:
 
     def receive_block(self, block: Block) -> bool:
         """Validate and store a block from the network; True when tip moved."""
+        self._require_running()
         accepted = self.chain.add_block(block)
         if accepted:
             self.mempool.remove_confirmed(block.transactions)

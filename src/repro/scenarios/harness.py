@@ -136,12 +136,17 @@ class ZendooHarness:
         creator: KeyPair | None = None,
         proving_strategy: str = "per_transaction",
         proving_workers: int | None = None,
+        store=None,
+        data_dir=None,
+        fsync: str = "block",
     ) -> SidechainHandle:
         """Declare a Latus sidechain on the MC and attach an observing node.
 
         ``proving_workers`` opts the node's epoch prover into the parallel
         pipeline (see :class:`repro.snark.pool.ProverPool`); the default
-        ``None`` keeps the serial path.
+        ``None`` keeps the serial path.  ``store=`` / ``data_dir=`` attach a
+        durable :class:`~repro.storage.StateStore` to the node (see
+        ``docs/STORAGE.md``).
         """
         config = latus_sidechain_config(
             seed=seed,
@@ -158,6 +163,9 @@ class ZendooHarness:
             creator=creator or KeyPair.from_seed(f"{seed}/creator"),
             proving_strategy=proving_strategy,
             proving_workers=proving_workers,
+            store=store,
+            data_dir=data_dir,
+            fsync=fsync,
         )
         handle = SidechainHandle(config=config, node=node)
         self.sidechains[config.ledger_id] = handle

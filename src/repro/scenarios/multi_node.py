@@ -46,6 +46,9 @@ class ChaosReport:
     crashes: int = 0
     restarts: int = 0
     resyncs: int = 0
+    #: Restarts that replayed the node's own on-disk store instead of
+    #: resyncing from a peer (nodes constructed with ``stores=``).
+    disk_recoveries: int = 0
     #: Node whose chain everyone converged onto.
     reference: str = ""
     #: Canonical byte encoding of every fault fired (seed-reproducible).
@@ -70,11 +73,17 @@ class MultiNodeDeployment:
         stakeholders: list[KeyPair],
         proving_strategy: str = "batched",
         proving_workers: int | None = None,
+        stores: dict | None = None,
     ) -> None:
         self.mc = mc_node
         self.config = config
         self.stakeholders = stakeholders
         self.nodes: dict[str, LatusNode] = {}
+        #: Optional per-node durable stores, keyed by node name ("creator",
+        #: "node-0", ...).  A node with a store recovers from disk on
+        #: :meth:`~repro.latus.node.LatusNode.restart` instead of needing a
+        #: full peer resync.
+        stores = stores or {}
         # the creator's node also forges bootstrap slots
         keys_per_node: list[tuple[str, list[KeyPair]]] = [
             ("creator", [creator])
@@ -88,6 +97,7 @@ class MultiNodeDeployment:
                 forger_keys=keys,
                 proving_strategy=proving_strategy,
                 proving_workers=proving_workers,
+                store=stores.get(name),
                 # every node builds certificates (so anchors exist locally);
                 # duplicates are deduplicated by the MC mempool
                 auto_submit_certificates=True,
@@ -153,7 +163,7 @@ class MultiNodeDeployment:
         for name, node in self.nodes.items():
             net.register(name, self._make_chaos_handler(node))
 
-        crashes = restarts = resyncs = 0
+        crashes = restarts = resyncs = disk_recoveries = 0
         forged_total = 0
         for rnd in range(rounds):
             for name in crash_at.get(rnd, []):
@@ -165,7 +175,12 @@ class MultiNodeDeployment:
                 if node.crashed:
                     node.restart()
                     restarts += 1
-                    resyncs += self._chaos_resync(node)
+                    if node.blocks:
+                        # recovered from its own store; the round's sync()
+                        # replays only the MC tail past the last fsync
+                        disk_recoveries += 1
+                    else:
+                        resyncs += self._chaos_resync(node)
             self.mc.mine_block(miner_addr)
             for name, node in self.nodes.items():
                 if node.crashed:
@@ -183,6 +198,8 @@ class MultiNodeDeployment:
             if node.crashed:
                 node.restart()
                 restarts += 1
+                if node.blocks:
+                    disk_recoveries += 1
 
         # -- reconcile: everyone adopts the best chain
         reference = self._chaos_reference()
@@ -209,6 +226,7 @@ class MultiNodeDeployment:
             crashes=crashes,
             restarts=restarts,
             resyncs=resyncs,
+            disk_recoveries=disk_recoveries,
             reference=reference,
             fault_schedule=net.fault_schedule(),
             final_height=ref_node.height,

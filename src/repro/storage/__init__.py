@@ -1,0 +1,57 @@
+"""Durable storage engine: WAL + snapshot stores behind :class:`StateStore`.
+
+The public surface:
+
+* :class:`StateStore` — the durability contract (stage/commit/append,
+  write_snapshot, latest_snapshot/records, reset, read-only mode);
+* :class:`MemoryStore` — the contract in process memory (tests, defaults);
+* :class:`FileStore` — file-segment backed WAL + snapshot files with an
+  fsync policy knob (``batch`` / ``block`` / ``never``);
+* record kinds (``SC_BLOCK`` …) and :func:`inspect_store` for the CLI
+  explorer.
+
+See ``docs/STORAGE.md`` for the on-disk layout and recovery semantics.
+"""
+
+from repro.errors import StorageError
+from repro.storage.explorer import format_inspection, inspect_store
+from repro.storage.filestore import FileStore
+from repro.storage.records import (
+    KIND_NAMES,
+    MC_BLOCK,
+    SC_BLOCK,
+    SC_CERT,
+    SC_LEAF_BATCH,
+    SC_TX,
+    decode_leaf_batch,
+    encode_leaf_batch,
+    frame_record,
+    read_wal,
+)
+from repro.storage.store import (
+    FSYNC_POLICIES,
+    MemoryStore,
+    StateStore,
+    count_disk_recovery,
+)
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "FileStore",
+    "KIND_NAMES",
+    "MC_BLOCK",
+    "MemoryStore",
+    "SC_BLOCK",
+    "SC_CERT",
+    "SC_LEAF_BATCH",
+    "SC_TX",
+    "StateStore",
+    "StorageError",
+    "count_disk_recovery",
+    "decode_leaf_batch",
+    "encode_leaf_batch",
+    "format_inspection",
+    "frame_record",
+    "inspect_store",
+    "read_wal",
+]

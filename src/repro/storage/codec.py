@@ -1,0 +1,414 @@
+"""Snapshot-section codecs: node state ↔ canonical bytes.
+
+Everything written to disk goes through :class:`~repro.encoding.Encoder` /
+:class:`~repro.encoding.Decoder` and reuses the :mod:`repro.wire` readers —
+the wire codec is the single serialization authority for both the network
+and the store (no pickle anywhere).  A snapshot is a flat ``{section name:
+bytes}`` mapping; this module defines the per-section formats and their
+strict inverses.
+
+Latus sections (assembled by :class:`~repro.latus.node.LatusNode`)::
+
+    latus/meta       epoch id about to start, last referenced MC height,
+                     skipped slots
+    latus/state      the live LatusState (MST leaves + touched + BT list)
+    latus/epoch      the in-progress EpochLedger (start state, transitions,
+                     referenced MC hashes)
+    latus/blocks     the full sidechain block history
+    latus/utxos      the full-UTXO index
+    latus/synced_mc  (height, hash) pairs of processed MC blocks
+    latus/consensus  per-consensus-epoch seeds and stake snapshots
+    latus/certs      every certificate built so far
+    latus/anchors    per-epoch certificate anchors (cert + state snapshot)
+    latus/submitted  the durable wallet mempool
+
+Mainchain sections (assembled by :class:`~repro.mainchain.chain.Blockchain`)::
+
+    mc/blocks        the active chain, genesis first
+    mc/state         UTXO set, safeguard, CCTP registry (entries, adopted
+                     certificates, nullifiers), pending payouts
+"""
+
+from __future__ import annotations
+
+from repro import wire
+from repro.encoding import Decoder, Encoder
+from repro.errors import DecodeError, StorageError
+
+
+def _strict(read_item, data: bytes):
+    try:
+        dec = Decoder(data)
+        value = read_item(dec)
+        dec.done()
+    except DecodeError as exc:
+        raise StorageError(f"corrupt snapshot section: {exc}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Latus state
+# ---------------------------------------------------------------------------
+
+
+def encode_latus_state(state) -> bytes:
+    """``LatusState`` → bytes: depth, occupied leaves, touched set, BT list."""
+    tree = state.mst._tree
+    enc = Encoder().u32(state.mst.depth)
+    positions = sorted(tree.occupied_positions())
+    enc.sequence(
+        positions, lambda e, p: e.u64(p).field_element(tree.get_leaf(p))
+    )
+    enc.sequence(sorted(state.mst.touched_positions), lambda e, p: e.u64(p))
+    enc.sequence(
+        state.backward_transfers, lambda e, bt: e.var_bytes(bt.encode())
+    )
+    return enc.done()
+
+
+def _read_latus_state(dec: Decoder):
+    from repro.latus.state import LatusState
+
+    depth = dec.u32()
+    leaves = dec.sequence(lambda d: (d.u64(), d.field_element()))
+    touched = dec.sequence(lambda d: d.u64())
+    bts = dec.sequence(lambda d: wire._nested(d, wire.read_backward_transfer))
+    state = LatusState(depth)
+    if leaves:
+        state.mst._tree.set_leaves(dict(leaves))
+    state.mst._touched = set(touched)
+    state.backward_transfers = list(bts)
+    return state
+
+
+def decode_latus_state(data: bytes):
+    """Strict inverse of :func:`encode_latus_state`."""
+    return _strict(_read_latus_state, data)
+
+
+# ---------------------------------------------------------------------------
+# Latus consensus bookkeeping
+# ---------------------------------------------------------------------------
+
+
+def encode_consensus(seeds: dict[int, bytes], stakes: dict) -> bytes:
+    """Per-consensus-epoch seeds and stake distributions."""
+    enc = Encoder()
+    enc.sequence(
+        sorted(seeds.items()), lambda e, item: e.u64(item[0]).var_bytes(item[1])
+    )
+
+    def _write_stake(e: Encoder, item) -> None:
+        epoch, dist = item
+        e.u64(epoch)
+        e.sequence(
+            dist.stakes, lambda ee, pair: ee.field_element(pair[0]).u64(pair[1])
+        )
+
+    enc.sequence(sorted(stakes.items()), _write_stake)
+    return enc.done()
+
+
+def decode_consensus(data: bytes) -> tuple[dict[int, bytes], dict]:
+    from repro.latus.consensus.stake import StakeDistribution
+
+    def _read(dec: Decoder):
+        seeds = dict(dec.sequence(lambda d: (d.u64(), d.var_bytes())))
+        stakes = {}
+        for epoch, pairs in dec.sequence(
+            lambda d: (
+                d.u64(),
+                d.sequence(lambda dd: (dd.field_element(), dd.u64())),
+            )
+        ):
+            stakes[epoch] = StakeDistribution(stakes=tuple(pairs))
+        return seeds, stakes
+
+    return _strict(_read, data)
+
+
+def encode_anchors(anchors: dict) -> bytes:
+    """Certificate anchors: ``{epoch: CertificateAnchor}`` → bytes.
+
+    The anchor's ``mst_root`` and ``mst_delta`` are derivable from its state
+    snapshot (root of the tree; delta from the touched set), so only the
+    certificate and the state snapshot are stored.
+    """
+    enc = Encoder()
+    enc.sequence(
+        sorted(anchors.items()),
+        lambda e, item: e.u64(item[0])
+        .var_bytes(item[1].certificate.encode())
+        .var_bytes(encode_latus_state(item[1].state_snapshot)),
+    )
+    return enc.done()
+
+
+def decode_anchors(data: bytes) -> dict:
+    from repro.latus.mst_delta import MstDelta
+    from repro.latus.node import CertificateAnchor
+
+    def _read(dec: Decoder):
+        anchors = {}
+        for epoch, cert_bytes, state_bytes in dec.sequence(
+            lambda d: (d.u64(), d.var_bytes(), d.var_bytes())
+        ):
+            certificate = wire.decode_withdrawal_certificate(cert_bytes)
+            state = decode_latus_state(state_bytes)
+            anchors[epoch] = CertificateAnchor(
+                certificate=certificate,
+                mst_root=state.mst_root,
+                state_snapshot=state,
+                mst_delta=MstDelta.from_positions(
+                    state.mst.depth, state.mst.touched_positions
+                ),
+            )
+        return anchors
+
+    return _strict(_read, data)
+
+
+def encode_epoch_ledger(epoch) -> bytes:
+    """The in-progress :class:`~repro.latus.node.EpochLedger`."""
+    enc = Encoder().u64(epoch.epoch_id)
+    enc.var_bytes(encode_latus_state(epoch.start_state))
+    enc.sequence(epoch.transitions, lambda e, tx: e.var_bytes(tx.encode()))
+    enc.sequence(epoch.referenced_mc_hashes, lambda e, h: e.raw(h))
+    return enc.done()
+
+
+def decode_epoch_ledger(data: bytes):
+    from repro.latus.node import EpochLedger
+
+    def _read(dec: Decoder):
+        epoch_id = dec.u64()
+        start_state = decode_latus_state(dec.var_bytes())
+        transitions = [
+            wire.decode_latus_transaction(raw)
+            for raw in dec.sequence(lambda d: d.var_bytes())
+        ]
+        hashes = dec.sequence(lambda d: d.raw(32))
+        return EpochLedger(
+            epoch_id=epoch_id,
+            start_state=start_state,
+            transitions=transitions,
+            referenced_mc_hashes=hashes,
+        )
+
+    return _strict(_read, data)
+
+
+def encode_latus_meta(
+    epoch_id: int, last_referenced_mc_height: int, skipped_slots: list[int]
+) -> bytes:
+    enc = Encoder().u64(epoch_id).i64(last_referenced_mc_height)
+    enc.sequence(skipped_slots, lambda e, s: e.u64(s))
+    return enc.done()
+
+
+def decode_latus_meta(data: bytes) -> tuple[int, int, list[int]]:
+    return _strict(
+        lambda d: (d.u64(), d.i64(), d.sequence(lambda dd: dd.u64())), data
+    )
+
+
+def encode_synced_mc(synced: list[tuple[int, bytes]]) -> bytes:
+    enc = Encoder()
+    enc.sequence(synced, lambda e, item: e.u64(item[0]).raw(item[1]))
+    return enc.done()
+
+
+def decode_synced_mc(data: bytes) -> list[tuple[int, bytes]]:
+    return _strict(
+        lambda d: d.sequence(lambda dd: (dd.u64(), dd.raw(32))), data
+    )
+
+
+def encode_blob_sequence(blobs: list[bytes]) -> bytes:
+    """A plain length-prefixed sequence of encoded objects."""
+    enc = Encoder()
+    enc.sequence(blobs, lambda e, b: e.var_bytes(b))
+    return enc.done()
+
+
+def decode_blob_sequence(data: bytes) -> list[bytes]:
+    return _strict(lambda d: d.sequence(lambda dd: dd.var_bytes()), data)
+
+
+def encode_utxo_index(utxo_index: dict) -> bytes:
+    enc = Encoder()
+    enc.sequence(
+        sorted(utxo_index.items()),
+        lambda e, item: e.var_bytes(item[1].encode()),
+    )
+    return enc.done()
+
+
+def decode_utxo_index(data: bytes) -> dict:
+    utxos = [
+        wire.decode_utxo(raw) for raw in decode_blob_sequence(data)
+    ]
+    return {u.nonce: u for u in utxos}
+
+
+# ---------------------------------------------------------------------------
+# Mainchain state
+# ---------------------------------------------------------------------------
+
+
+def encode_mainchain_state(state) -> bytes:
+    """``MainchainState`` → bytes (everything except the block-hash chain,
+    which the caller reconstructs from the stored active chain)."""
+    enc = Encoder()
+
+    # UTXO set, sorted by outpoint for a canonical byte string
+    coins = sorted(
+        state.utxos.items(), key=lambda item: (item[0].txid, item[0].index)
+    )
+
+    def _write_coin(e: Encoder, item) -> None:
+        outpoint, coin = item
+        e.raw(outpoint.txid).u32(outpoint.index)
+        e.var_bytes(coin.output.encode())
+        e.u64(coin.created_height).u64(coin.maturity_height)
+
+    enc.sequence(coins, _write_coin)
+
+    # safeguard balances
+    balances = sorted(state.cctp.safeguard._balances.items())
+    enc.sequence(balances, lambda e, item: e.raw(item[0]).u64(item[1]))
+
+    # sidechain registry entries
+    def _write_entry(e: Encoder, item) -> None:
+        from repro.core.cctp import SidechainStatus
+
+        _, entry = item
+        e.var_bytes(entry.config.encode())
+        e.boolean(entry.status is SidechainStatus.CEASED)
+        e.optional(entry.ceased_at_height, lambda ee, h: ee.u64(h))
+
+        def _write_cert(ee: Encoder, cert_item) -> None:
+            epoch, record = cert_item
+            ee.u64(epoch)
+            ee.var_bytes(record.certificate.encode())
+            ee.u64(record.included_at_height)
+            ee.raw(record.included_in_block)
+
+        e.sequence(sorted(entry.certificates.items()), _write_cert)
+        e.sequence(sorted(entry.nullifiers), lambda ee, n: ee.var_bytes(n))
+        e.raw(entry.last_cert_block_hash)
+
+    entries = sorted(state.cctp.sidechains.items())
+    enc.sequence(entries, _write_entry)
+    enc.i64(state.cctp._advanced_to)
+
+    # pending certificate payouts
+    def _write_payouts(e: Encoder, item) -> None:
+        cert_id, payouts = item
+        e.raw(cert_id)
+
+        def _write_payout(ee: Encoder, p) -> None:
+            ee.raw(p.outpoint.txid).u32(p.outpoint.index)
+            ee.var_bytes(p.output.encode())
+            ee.u64(p.maturity_height)
+            ee.raw(p.ledger_id)
+
+        e.sequence(payouts, _write_payout)
+
+    enc.sequence(sorted(state.pending_payouts.items()), _write_payouts)
+    return enc.done()
+
+
+def decode_mainchain_state(data: bytes, params):
+    """Strict inverse of :func:`encode_mainchain_state`.
+
+    The ceasing-deadline index and the payout-maturity index are derived
+    caches and are rebuilt from the restored entries/payouts rather than
+    stored; ``height``/``block_hashes`` are left for the caller to fill
+    from the restored block list.
+    """
+    from repro.core.cctp import CertificateRecord, SidechainEntry, SidechainStatus
+    from repro.mainchain.chain import MainchainState, PendingPayout
+    from repro.mainchain.utxo import Coin, Outpoint, TxOutput
+
+    def _read(dec: Decoder):
+        state = MainchainState(params)
+
+        def _read_coin(d: Decoder):
+            outpoint = Outpoint(txid=d.raw(32), index=d.u32())
+            output = wire._nested(d, wire.read_tx_output)
+            return outpoint, Coin(
+                output=output,
+                created_height=d.u64(),
+                maturity_height=d.u64(),
+            )
+
+        for outpoint, coin in dec.sequence(_read_coin):
+            state.utxos.add(outpoint, coin)
+
+        for ledger_id, balance in dec.sequence(
+            lambda d: (d.raw(32), d.u64())
+        ):
+            state.cctp.safeguard.open(ledger_id)
+            state.cctp.safeguard._balances[ledger_id] = balance
+
+        def _read_entry(d: Decoder):
+            config = wire.decode_sidechain_config(d.var_bytes())
+            ceased = d.boolean()
+            ceased_at = d.optional(lambda dd: dd.u64())
+            certificates = {}
+            for epoch, cert_bytes, included_at, included_block in d.sequence(
+                lambda dd: (dd.u64(), dd.var_bytes(), dd.u64(), dd.raw(32))
+            ):
+                certificates[epoch] = CertificateRecord(
+                    certificate=wire.decode_withdrawal_certificate(cert_bytes),
+                    included_at_height=included_at,
+                    included_in_block=included_block,
+                )
+            nullifiers = d.sequence(lambda dd: dd.var_bytes())
+            last_cert_block_hash = d.raw(32)
+            entry = SidechainEntry(
+                config=config,
+                status=(
+                    SidechainStatus.CEASED if ceased else SidechainStatus.ACTIVE
+                ),
+                ceased_at_height=ceased_at,
+                certificates=certificates,
+                last_cert_block_hash=last_cert_block_hash,
+                owner=state.cctp._token,
+            )
+            for nullifier in nullifiers:
+                entry.nullifiers.add(nullifier)
+            return entry
+
+        for entry in dec.sequence(_read_entry):
+            state.cctp.sidechains[entry.config.ledger_id] = entry
+            if entry.status is SidechainStatus.ACTIVE:
+                state.cctp._index_deadline(entry.config.ledger_id, entry)
+        state.cctp._advanced_to = dec.i64()
+
+        def _read_payouts(d: Decoder):
+            cert_id = d.raw(32)
+
+            def _read_payout(dd: Decoder):
+                outpoint = Outpoint(txid=dd.raw(32), index=dd.u32())
+                output = wire._nested(dd, wire.read_tx_output)
+                return PendingPayout(
+                    outpoint=outpoint,
+                    output=output,
+                    maturity_height=dd.u64(),
+                    ledger_id=dd.raw(32),
+                )
+
+            return cert_id, tuple(d.sequence(_read_payout))
+
+        for cert_id, payouts in dec.sequence(_read_payouts):
+            state.pending_payouts[cert_id] = payouts
+            if payouts:
+                maturity = payouts[0].maturity_height
+                slot = state._payout_maturities.get(maturity, ())
+                if cert_id not in slot:
+                    state._payout_maturities[maturity] = (*slot, cert_id)
+        return state
+
+    return _strict(_read, data)

@@ -1,0 +1,160 @@
+"""Read-only store inspection for the CLI explorer.
+
+:func:`inspect_store` opens a store *without* constructing a node: it reads
+the snapshot sections and the WAL tail directly and summarizes what a
+recovery would find — chain height, tip digest, registered sidechains,
+last-snapshot epoch.  Everything here is read-only by construction (only
+``latest_snapshot``/``records``/``describe`` are called), so it is safe to
+point at a live node's data directory.
+"""
+
+from __future__ import annotations
+
+from repro import wire
+from repro.storage import codec
+from repro.storage.records import KIND_NAMES, MC_BLOCK, SC_BLOCK, SC_CERT, SC_TX
+from repro.storage.store import StateStore
+
+
+def _record_histogram(records: list[tuple[int, bytes]]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for kind, _ in records:
+        name = KIND_NAMES.get(kind, f"kind_{kind}")
+        counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+def _inspect_latus(snapshot, records, info: dict) -> dict:
+    blocks = []
+    if snapshot is not None:
+        _, sections = snapshot
+        blocks = [
+            wire.decode_sidechain_block(raw)
+            for raw in codec.decode_blob_sequence(sections.get("latus/blocks", b"\0\0\0\0"))
+        ]
+    certificates = sum(1 for kind, _ in records if kind == SC_CERT)
+    if snapshot is not None:
+        _, sections = snapshot
+        certificates += len(
+            codec.decode_blob_sequence(sections.get("latus/certs", b"\0\0\0\0"))
+        )
+    for kind, payload in records:
+        if kind == SC_BLOCK:
+            blocks.append(wire.decode_sidechain_block(payload))
+    tip = blocks[-1] if blocks else None
+    info.update(
+        kind="latus",
+        height=tip.height if tip else -1,
+        tip_hash=tip.hash.hex() if tip else None,
+        tip_digest=f"{tip.state_digest:#x}" if tip else None,
+        certificates=certificates,
+        mempool_txs=sum(1 for kind, _ in records if kind == SC_TX),
+    )
+    return info
+
+
+def _inspect_mainchain(snapshot, records, info: dict) -> dict:
+    blocks = []
+    sidechains = None
+    if snapshot is not None:
+        _, sections = snapshot
+        blocks = [
+            wire.decode_block(raw)
+            for raw in codec.decode_blob_sequence(sections.get("mc/blocks", b"\0\0\0\0"))
+        ]
+        state_section = sections.get("mc/state")
+        if state_section is not None:
+            from repro.mainchain.params import MainchainParams
+
+            state = codec.decode_mainchain_state(state_section, MainchainParams())
+            sidechains = len(state.cctp.sidechains)
+
+    # walk the WAL tail, following only blocks that extend the current tip
+    # (forks are kept in the log but do not change the summary height)
+    from repro.mainchain.transaction import SidechainDeclarationTx
+
+    tip_hash = blocks[-1].hash if blocks else None
+    declared = 0
+    for kind, payload in records:
+        if kind != MC_BLOCK:
+            continue
+        block = wire.decode_block(payload)
+        if tip_hash is None or block.header.prev_hash == tip_hash:
+            blocks.append(block)
+            tip_hash = block.hash
+            declared += sum(
+                isinstance(tx, SidechainDeclarationTx)
+                for tx in block.transactions
+            )
+    if sidechains is not None:
+        sidechains += declared
+    elif snapshot is None:
+        # no snapshot: the WAL holds every block since genesis, so the
+        # declaration count in the tail is the whole registry
+        sidechains = declared
+    tip = blocks[-1] if blocks else None
+    info.update(
+        kind="mainchain",
+        height=tip.header.height if tip else -1,
+        tip_hash=tip.hash.hex() if tip else None,
+        tip_digest=tip.hash.hex() if tip else None,
+        sidechains=sidechains,
+    )
+    return info
+
+
+def inspect_store(store: StateStore) -> dict:
+    """Summarize a store's contents without building a node.
+
+    Returns a dict with at least ``kind`` (``"latus"``, ``"mainchain"`` or
+    ``"empty"``), ``height``, ``tip_digest``, ``snapshot_epoch``,
+    ``wal_records`` and the backend's ``describe()`` output under
+    ``backend``.
+    """
+    snapshot = store.latest_snapshot()
+    records = store.records()
+    info: dict = {
+        "backend": store.describe(),
+        "snapshot_epoch": snapshot[0] if snapshot is not None else None,
+        "wal_records": len(records),
+        "wal_record_kinds": _record_histogram(records),
+    }
+    section_keys = set(snapshot[1]) if snapshot is not None else set()
+    record_kinds = {kind for kind, _ in records}
+    is_latus = any(k.startswith("latus/") for k in section_keys) or (
+        record_kinds & {SC_BLOCK, SC_TX, SC_CERT}
+    )
+    is_mainchain = any(k.startswith("mc/") for k in section_keys) or (
+        MC_BLOCK in record_kinds
+    )
+    if is_latus and not is_mainchain:
+        return _inspect_latus(snapshot, records, info)
+    if is_mainchain and not is_latus:
+        return _inspect_mainchain(snapshot, records, info)
+    info.update(kind="empty", height=-1, tip_hash=None, tip_digest=None)
+    return info
+
+
+def format_inspection(info: dict) -> str:
+    """Human-readable multi-line rendering of :func:`inspect_store` output."""
+    lines = [f"store kind: {info['kind']}"]
+    backend = info.get("backend", {})
+    if backend:
+        detail = ", ".join(f"{k}={v}" for k, v in backend.items())
+        lines.append(f"backend: {detail}")
+    lines.append(f"chain height: {info['height']}")
+    if info.get("tip_hash"):
+        lines.append(f"tip hash: {info['tip_hash']}")
+    if info.get("tip_digest") and info["tip_digest"] != info.get("tip_hash"):
+        lines.append(f"tip state digest: {info['tip_digest']}")
+    if info.get("sidechains") is not None:
+        lines.append(f"registered sidechains: {info['sidechains']}")
+    if info.get("certificates") is not None:
+        lines.append(f"withdrawal certificates: {info['certificates']}")
+    lines.append(f"last snapshot epoch: {info['snapshot_epoch']}")
+    lines.append(f"wal records since snapshot: {info['wal_records']}")
+    kinds = info.get("wal_record_kinds") or {}
+    if kinds:
+        detail = ", ".join(f"{name}={count}" for name, count in sorted(kinds.items()))
+        lines.append(f"wal record kinds: {detail}")
+    return "\n".join(lines)

@@ -75,6 +75,19 @@ class TestWorkflowStructure:
         assert uploads[0]["if"] == "always()"
         assert uploads[0]["with"]["if-no-files-found"] == "error"
 
+    def test_bench_durability_leg_uploads_pr8_report(self, workflow):
+        """The PR 8 leg: the storage-engine gate runs in isolation via
+        ``--durability-only`` and always uploads BENCH_pr8.json."""
+        job = workflow["jobs"]["bench-durability"]
+        assert "python -m benchmarks.smoke --durability-only" in job_commands(job)
+        uploads = [
+            step for step in job["steps"]
+            if "upload-artifact" in step.get("uses", "")
+        ]
+        assert uploads and uploads[0]["with"]["path"] == "BENCH_pr8.json"
+        assert uploads[0]["if"] == "always()"
+        assert uploads[0]["with"]["if-no-files-found"] == "error"
+
     def test_backend_parity_matrix(self, workflow):
         """The PR 6 leg: one job per field backend, never fail-fast, with
         the optional accelerator installs marked best-effort so missing

@@ -1,0 +1,565 @@
+"""Durability tests: the StateStore contract and restart-from-disk nodes.
+
+The scenarios the storage engine exists for: a node is kill -9'd mid-epoch
+(the in-memory objects are simply dropped), a fresh node opens the same
+data directory and replays snapshot + WAL back to a byte-identical chain
+digest — no full peer resync.  Only the tail past the last fsync ever
+needs a peer.
+"""
+
+import os
+
+import pytest
+
+from repro import lifecycle, observability
+from repro.crypto.keys import KeyPair
+from repro.errors import NodeCrashed, StorageError
+from repro.latus.node import LatusNode
+from repro.latus.params import LatusParams
+from repro.mainchain.chain import Blockchain
+from repro.mainchain.node import MainchainNode
+from repro.mainchain.params import MainchainParams
+from repro.mainchain.transaction import SidechainDeclarationTx
+from repro.network.faults import FaultPlan
+from repro.scenarios import ZendooHarness
+from repro.scenarios.harness import latus_sidechain_config
+from repro.scenarios.multi_node import MultiNodeDeployment
+from repro.storage import (
+    SC_BLOCK,
+    SC_TX,
+    FileStore,
+    MemoryStore,
+    StateStore,
+    frame_record,
+    inspect_store,
+    read_wal,
+)
+
+ALICE = KeyPair.from_seed("store/alice")
+BOB = KeyPair.from_seed("store/bob")
+MINER = KeyPair.from_seed("store/miner")
+CREATOR = KeyPair.from_seed("store/creator")
+STAKERS = [KeyPair.from_seed(f"store/staker-{i}") for i in range(2)]
+
+
+# ---------------------------------------------------------------------------
+# StateStore contract (both backends)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(params=["memory", "file"])
+def store(request, tmp_path) -> StateStore:
+    if request.param == "memory":
+        s = MemoryStore()
+    else:
+        s = FileStore(tmp_path / "store")
+    yield s
+    s.close()
+
+
+class TestStateStoreContract:
+    def test_empty_store(self, store):
+        assert store.is_empty()
+        assert store.latest_snapshot() is None
+        assert store.records() == []
+
+    def test_append_and_read_back(self, store):
+        store.append(SC_TX, b"tx-payload")
+        store.append(SC_BLOCK, b"block-payload")
+        assert store.records() == [(SC_TX, b"tx-payload"), (SC_BLOCK, b"block-payload")]
+        assert not store.is_empty()
+
+    def test_staged_records_invisible_until_commit(self, store):
+        store.stage(SC_TX, b"a")
+        store.stage(SC_TX, b"b")
+        assert store.records() == []
+        store.commit()
+        assert store.records() == [(SC_TX, b"a"), (SC_TX, b"b")]
+
+    def test_discard_staged_drops_the_group(self, store):
+        store.stage(SC_TX, b"doomed")
+        store.discard_staged()
+        store.commit()
+        assert store.records() == []
+
+    def test_snapshot_compacts_the_wal(self, store):
+        store.append(SC_TX, b"pre")
+        store.write_snapshot(3, {"latus/state": b"state-bytes"})
+        assert store.records() == []
+        assert store.latest_snapshot() == (3, {"latus/state": b"state-bytes"})
+        store.append(SC_BLOCK, b"tail")
+        assert store.records() == [(SC_BLOCK, b"tail")]
+
+    def test_snapshot_commits_staged_records_first(self, store):
+        # write_snapshot is a durability point: staged records must not be
+        # silently dropped, they are folded into the snapshot's WAL flush
+        store.stage(SC_TX, b"staged")
+        store.write_snapshot(1, {"s": b""})
+        assert store.records() == []  # compacted, not lost
+
+    def test_reset_wipes_everything(self, store):
+        store.append(SC_TX, b"x")
+        store.write_snapshot(1, {"s": b"y"})
+        store.append(SC_TX, b"z")
+        store.reset()
+        assert store.is_empty()
+
+    def test_unknown_kind_rejected_eagerly(self, store):
+        with pytest.raises(StorageError):
+            store.stage(99, b"payload")
+
+    def test_describe_names_the_backend(self, store):
+        assert store.describe()["backend"] in ("memory", "file")
+
+
+class TestReadOnly:
+    def test_memory_read_only_refuses_writes(self):
+        store = MemoryStore(read_only=True)
+        for call in (
+            lambda: store.stage(SC_TX, b"x"),
+            store.commit,
+            lambda: store.write_snapshot(0, {}),
+            store.reset,
+        ):
+            with pytest.raises(StorageError, match="read-only"):
+                call()
+
+    def test_file_read_only_refuses_writes(self, tmp_path):
+        FileStore(tmp_path / "d").close()
+        store = FileStore(tmp_path / "d", read_only=True)
+        with pytest.raises(StorageError, match="read-only"):
+            store.append(SC_TX, b"x")
+        with pytest.raises(StorageError, match="read-only"):
+            store.write_snapshot(0, {})
+        store.close()
+
+    def test_read_only_requires_an_existing_store(self, tmp_path):
+        with pytest.raises(StorageError, match="no store at"):
+            FileStore(tmp_path / "missing", read_only=True)
+
+    def test_read_only_reads_a_writer_store(self, tmp_path):
+        writer = FileStore(tmp_path / "d")
+        writer.append(SC_TX, b"visible")
+        writer.write_snapshot(2, {"k": b"v"})
+        writer.append(SC_BLOCK, b"tail")
+        reader = FileStore(tmp_path / "d", read_only=True)
+        assert reader.latest_snapshot() == (2, {"k": b"v"})
+        assert reader.records() == [(SC_BLOCK, b"tail")]
+        reader.close()
+        writer.close()
+
+
+class TestFileStoreDurability:
+    def test_reopen_sees_committed_records(self, tmp_path):
+        store = FileStore(tmp_path / "d")
+        store.append(SC_TX, b"committed")
+        store.stage(SC_TX, b"staged-but-never-committed")
+        del store  # kill -9: staged group was never flushed
+
+        reopened = FileStore(tmp_path / "d")
+        assert reopened.records() == [(SC_TX, b"committed")]
+        reopened.close()
+
+    def test_torn_tail_truncated_on_reopen(self, tmp_path):
+        store = FileStore(tmp_path / "d")
+        store.append(SC_TX, b"whole")
+        store.close()
+        wal = tmp_path / "d" / "wal.log"
+        good = wal.read_bytes()
+        # a record torn mid-write by the crash: valid frame prefix, truncated
+        torn = frame_record(SC_BLOCK, b"this-record-was-torn")[:-4]
+        wal.write_bytes(good + torn)
+
+        reopened = FileStore(tmp_path / "d")
+        assert reopened.records() == [(SC_TX, b"whole")]
+        # the repair physically truncated the file so appends stay parseable
+        assert wal.read_bytes() == good
+        reopened.close()
+
+    def test_complete_unknown_record_is_corruption(self, tmp_path):
+        store = FileStore(tmp_path / "d")
+        store.append(SC_TX, b"ok")
+        store.close()
+        wal = tmp_path / "d" / "wal.log"
+        bogus = bytes([200]) + len(b"zz").to_bytes(4, "little") + b"zz"
+        wal.write_bytes(wal.read_bytes() + bogus)
+        with pytest.raises(StorageError):
+            FileStore(tmp_path / "d")
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        store = FileStore(tmp_path / "d")
+        store.write_snapshot(1, {"s": b"x"})
+        store.close()
+        (tmp_path / "d" / "MANIFEST").write_bytes(b"garbage")
+        with pytest.raises(StorageError):
+            FileStore(tmp_path / "d")
+
+    def test_fsync_policy_validated(self, tmp_path):
+        with pytest.raises(StorageError):
+            FileStore(tmp_path / "d", fsync="sometimes")
+
+    def test_read_wal_reports_valid_length(self):
+        framed = frame_record(SC_TX, b"abc")
+        records, valid = read_wal(framed + framed[:3])
+        assert records == [(SC_TX, b"abc")]
+        assert valid == len(framed)
+
+
+# ---------------------------------------------------------------------------
+# Latus node: kill -9 mid-epoch, restart from disk
+# ---------------------------------------------------------------------------
+
+
+def _build_latus_history(data_dir):
+    """FT + payment + two closed epochs + a mid-epoch tail, all on disk."""
+    harness = ZendooHarness(use_network=False)
+    harness.mine(2)
+    sc = harness.create_sidechain(
+        "durable", epoch_len=4, submit_len=2, data_dir=data_dir
+    )
+    harness.forward_transfer(sc, ALICE, 9_000)
+    harness.mine(2)
+    harness.wallet(sc, ALICE).pay(BOB.address, 1_500)
+    harness.run_epochs(sc, 2)
+    harness.mine(2)  # mid-epoch tail: blocks past the last snapshot
+    return harness, sc
+
+
+CREATOR_DURABLE = KeyPair.from_seed("durable/creator")  # harness derivation
+
+
+def _recover_latus(harness, sc, data_dir) -> LatusNode:
+    return LatusNode(
+        config=sc.config,
+        params=sc.node.params,
+        mc_node=harness.mc,
+        creator=CREATOR_DURABLE,
+        data_dir=data_dir,
+    )
+
+
+class TestLatusDiskRecovery:
+    def test_kill_mid_epoch_recovers_identical_digest(self, tmp_path):
+        harness, sc = _build_latus_history(tmp_path / "sc")
+        expected = (
+            sc.node.height,
+            sc.node.tip_hash,
+            sc.node.state.digest(),
+            len(sc.node.certificates),
+            sc.node.epoch.epoch_id,
+            sc.node.last_referenced_mc_height,
+        )
+        sc.node.close()  # the process dies; in-memory objects are gone
+
+        recovered = _recover_latus(harness, sc, tmp_path / "sc")
+        assert (
+            recovered.height,
+            recovered.tip_hash,
+            recovered.state.digest(),
+            len(recovered.certificates),
+            recovered.epoch.epoch_id,
+            recovered.last_referenced_mc_height,
+        ) == expected
+        recovered.close()
+
+    def test_recovery_counts_on_disk_recovery_metric(self, tmp_path):
+        harness, sc = _build_latus_history(tmp_path / "sc")
+        sc.node.close()
+        from repro.storage.store import _DISK_RECOVERIES
+
+        before = _DISK_RECOVERIES.value
+        recovered = _recover_latus(harness, sc, tmp_path / "sc")
+        assert _DISK_RECOVERIES.value == before + 1
+        recovered.close()
+
+    def test_wal_replay_is_idempotent(self, tmp_path):
+        # recovering rewrites a fresh snapshot; recovering again from that
+        # must land on the same chain — replay twice, compare everything
+        harness, sc = _build_latus_history(tmp_path / "sc")
+        sc.node.close()
+        first = _recover_latus(harness, sc, tmp_path / "sc")
+        view = (first.height, first.tip_hash, first.state.digest())
+        first.close()
+        second = _recover_latus(harness, sc, tmp_path / "sc")
+        assert (second.height, second.tip_hash, second.state.digest()) == view
+        second.close()
+
+    def test_snapshot_plus_tail_equals_compacted(self, tmp_path):
+        # the store holds snapshot + tail WAL right after the kill; after a
+        # recovery it holds one compacted snapshot.  Both read back the same.
+        harness, sc = _build_latus_history(tmp_path / "sc")
+        sc.node.close()
+        probe = FileStore(tmp_path / "sc", read_only=True)
+        assert probe.records(), "scenario must leave a WAL tail to be meaningful"
+        probe.close()
+
+        first = _recover_latus(harness, sc, tmp_path / "sc")
+        view = (first.height, first.tip_hash, first.state.digest())
+        first.close()
+        probe = FileStore(tmp_path / "sc", read_only=True)
+        assert probe.records() == []  # compacted into the snapshot
+        probe.close()
+        second = _recover_latus(harness, sc, tmp_path / "sc")
+        assert (second.height, second.tip_hash, second.state.digest()) == view
+        second.close()
+
+    def test_recovered_node_keeps_following_the_mc(self, tmp_path):
+        harness, sc = _build_latus_history(tmp_path / "sc")
+        sc.node.close()
+        recovered = _recover_latus(harness, sc, tmp_path / "sc")
+        # forger keys are secrets and are deliberately not persisted: the
+        # operator re-registers them on the recovered node
+        recovered.add_forger(CREATOR_DURABLE)
+        recovered.add_forger(ALICE)
+        sc.node = recovered  # the harness now drives the recovered node
+        height = recovered.height
+        harness.mine(4)
+        assert recovered.height > height
+        assert recovered.last_referenced_mc_height == harness.mc.height
+        recovered.close()
+
+    def test_restart_data_dir_is_the_recovery_entry_point(self, tmp_path):
+        harness, sc = _build_latus_history(tmp_path / "sc")
+        node = sc.node
+        expected = (node.height, node.tip_hash, node.state.digest())
+        node.crash()
+        with pytest.raises(NodeCrashed):
+            node.sync()
+        node.restart(data_dir=tmp_path / "sc")
+        assert (node.height, node.tip_hash, node.state.digest()) == expected
+        node.close()
+
+    def test_uncommitted_mempool_is_lost_on_crash(self, tmp_path):
+        harness, sc = _build_latus_history(tmp_path / "sc")
+        harness.wallet(sc, ALICE).pay(BOB.address, 10)
+        assert sc.node.pending_transactions()
+        sc.node.crash()
+        sc.node.restart()
+        # submitted txs were durably logged (SC_TX records), so they
+        # survive even though the in-memory mempool was dropped
+        assert sc.node.pending_transactions()
+        sc.node.close()
+
+    def test_unreplayable_store_falls_back_to_empty_chain(self, tmp_path):
+        harness, sc = _build_latus_history(tmp_path / "sc")
+        sc.node.close()
+        data_dir = tmp_path / "sc"
+        # a frame-valid SC_BLOCK whose payload is garbage: the store opens
+        # fine, replay fails, and the node warns + starts empty
+        wal = data_dir / "wal.log"
+        wal.write_bytes(wal.read_bytes() + frame_record(SC_BLOCK, b"garbage"))
+        with pytest.warns(RuntimeWarning, match="disk recovery failed"):
+            node = _recover_latus(harness, sc, data_dir)
+        assert node.height == -1  # empty chain, ready for sync_from
+        node.close()
+
+    def test_corrupt_snapshot_falls_back_with_warning(self, tmp_path):
+        harness, sc = _build_latus_history(tmp_path / "sc")
+        sc.node.close()
+        data_dir = tmp_path / "sc"
+        for name in os.listdir(data_dir):
+            if name.startswith("snapshot-"):
+                path = data_dir / name
+                path.write_bytes(b"\x00" * path.stat().st_size)
+        probe = FileStore(data_dir, read_only=True)
+        with pytest.raises(StorageError, match="corrupt snapshot"):
+            probe.latest_snapshot()
+        probe.close()
+        with pytest.warns(RuntimeWarning, match="disk recovery failed"):
+            node = _recover_latus(harness, sc, data_dir)
+        assert node.height == -1
+        node.close()
+
+
+# ---------------------------------------------------------------------------
+# Mainchain node: restart from disk
+# ---------------------------------------------------------------------------
+
+
+def _mc_params():
+    return MainchainParams(pow_zero_bits=2, coinbase_maturity=1)
+
+
+class TestMainchainDiskRecovery:
+    def test_kill_and_restart_from_disk(self, tmp_path):
+        node = MainchainNode(_mc_params(), data_dir=tmp_path / "mc")
+        node.mine_blocks(MINER.address, 20)  # snapshot at 16 + WAL tail
+        tip, height = node.chain.tip.hash, node.height
+        del node
+
+        recovered = MainchainNode(_mc_params(), data_dir=tmp_path / "mc")
+        assert (recovered.height, recovered.chain.tip.hash) == (height, tip)
+        # and it keeps mining on the recovered tip
+        recovered.mine_block(MINER.address)
+        assert recovered.height == height + 1
+        recovered.close()
+
+    def test_sidechain_registry_survives_restart(self, tmp_path):
+        node = MainchainNode(_mc_params(), data_dir=tmp_path / "mc")
+        node.mine_blocks(MINER.address, 2)
+        config = latus_sidechain_config(
+            "mc-durable", start_block=node.height + 2, epoch_len=4, submit_len=2
+        )
+        node.submit_transaction(SidechainDeclarationTx(config=config))
+        node.mine_blocks(MINER.address, 3)
+        assert config.ledger_id in node.state.cctp.sidechains
+        del node
+
+        recovered = MainchainNode(_mc_params(), data_dir=tmp_path / "mc")
+        entry = recovered.state.cctp.sidechains[config.ledger_id]
+        assert entry.config.ledger_id == config.ledger_id
+        recovered.close()
+
+    def test_crashed_node_refuses_chain_apis(self, tmp_path):
+        node = MainchainNode(_mc_params(), data_dir=tmp_path / "mc")
+        node.mine_blocks(MINER.address, 3)
+        node.crash()
+        with pytest.raises(NodeCrashed):
+            node.mine_block(MINER.address)
+        node.restart(data_dir=tmp_path / "mc")
+        assert node.height == 3
+        node.close()
+
+    def test_restart_without_store_rebuilds_and_resyncs(self, tmp_path):
+        peer = MainchainNode(_mc_params())
+        peer.mine_blocks(MINER.address, 6)
+        node = MainchainNode(_mc_params())
+        node.mine_blocks(MINER.address, 2)
+        node.crash()
+        node.restart()
+        assert node.height == 0  # no store: back to genesis
+        adopted = node.sync_from(peer)
+        assert adopted == peer.height + 1
+        assert node.chain.tip.hash == peer.chain.tip.hash
+
+    def test_historical_states_pruned_after_recovery(self, tmp_path):
+        from repro.errors import UnknownBlock
+
+        node = MainchainNode(_mc_params(), data_dir=tmp_path / "mc")
+        node.mine_blocks(MINER.address, 20)
+        old_hash = node.chain.active_chain()[5].hash
+        del node
+        recovered = MainchainNode(_mc_params(), data_dir=tmp_path / "mc")
+        with pytest.raises(UnknownBlock, match="pruned"):
+            recovered.chain.state_at(old_hash)
+        recovered.close()
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle parity + deprecated kwargs
+# ---------------------------------------------------------------------------
+
+
+class TestLifecycleParity:
+    def test_shared_surface(self):
+        for cls in (LatusNode, MainchainNode):
+            for name in ("crash", "restart", "sync_from", "close"):
+                assert callable(getattr(cls, name)), (cls, name)
+
+    def test_shared_counters(self, tmp_path):
+        mc = MainchainNode(_mc_params(), data_dir=tmp_path / "mc")
+        mc.mine_blocks(MINER.address, 2)
+        harness, sc = _build_latus_history(tmp_path / "sc")
+        crashes = lifecycle.NODE_CRASHES.value
+        restarts = lifecycle.NODE_RESTARTS.value
+        mc.crash()
+        sc.node.crash()
+        mc.restart(data_dir=tmp_path / "mc")
+        sc.node.restart(data_dir=tmp_path / "sc")
+        assert lifecycle.NODE_CRASHES.value == crashes + 2
+        assert lifecycle.NODE_RESTARTS.value == restarts + 2
+        mc.close()
+        sc.node.close()
+
+    def test_storage_kwarg_deprecated_but_works(self):
+        lifecycle._DEPRECATION_WARNED.discard("Blockchain")
+        store = MemoryStore()
+        with pytest.warns(DeprecationWarning, match="storage=.*deprecated"):
+            chain = Blockchain(_mc_params(), storage=store)
+        assert chain.store is store
+        # warned once per owner, not on every construction
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", DeprecationWarning)
+            Blockchain(_mc_params(), storage=MemoryStore())
+
+    def test_store_and_data_dir_are_exclusive(self, tmp_path):
+        with pytest.raises(StorageError, match="not both"):
+            MainchainNode(_mc_params(), store=MemoryStore(), data_dir=tmp_path / "x")
+
+
+# ---------------------------------------------------------------------------
+# CLI explorer internals
+# ---------------------------------------------------------------------------
+
+
+class TestInspectStore:
+    def test_latus_store(self, tmp_path):
+        harness, sc = _build_latus_history(tmp_path / "sc")
+        node = sc.node
+        info = inspect_store(FileStore(tmp_path / "sc", read_only=True))
+        assert info["kind"] == "latus"
+        assert info["height"] == node.height
+        assert info["tip_hash"] == node.tip_hash.hex()
+        assert info["certificates"] == len(node.certificates)
+        assert info["snapshot_epoch"] is not None
+        node.close()
+
+    def test_mainchain_store(self, tmp_path):
+        node = MainchainNode(_mc_params(), data_dir=tmp_path / "mc")
+        node.mine_blocks(MINER.address, 2)
+        config = latus_sidechain_config(
+            "inspect-mc", start_block=node.height + 2, epoch_len=4, submit_len=2
+        )
+        node.submit_transaction(SidechainDeclarationTx(config=config))
+        node.mine_blocks(MINER.address, 3)
+        height, tip = node.height, node.chain.tip.hash
+        node.close()
+        info = inspect_store(FileStore(tmp_path / "mc", read_only=True))
+        assert info["kind"] == "mainchain"
+        assert info["height"] == height
+        assert info["tip_hash"] == tip.hex()
+        assert info["sidechains"] == 1
+
+    def test_empty_store(self, tmp_path):
+        FileStore(tmp_path / "d").close()
+        info = inspect_store(FileStore(tmp_path / "d", read_only=True))
+        assert info["kind"] == "empty"
+
+
+# ---------------------------------------------------------------------------
+# Chaos: one node recovers from disk while another resyncs from peers
+# ---------------------------------------------------------------------------
+
+
+class TestChaosDiskRecovery:
+    def test_mixed_recovery_round(self, tmp_path):
+        mc = MainchainNode(_mc_params())
+        mc.mine_blocks(MINER.address, 2)
+        config = latus_sidechain_config(
+            "chaos-store", start_block=mc.height + 2, epoch_len=4, submit_len=2
+        )
+        mc.submit_transaction(SidechainDeclarationTx(config=config))
+        mc.mine_block(MINER.address)
+        dep = MultiNodeDeployment(
+            config=config,
+            params=LatusParams(mst_depth=10, slots_per_epoch=6),
+            mc_node=mc,
+            creator=CREATOR,
+            stakeholders=STAKERS,
+            stores={"node-0": FileStore(tmp_path / "node-0")},
+        )
+        report = dep.run_chaos(
+            MINER.address,
+            rounds=8,
+            plan=FaultPlan(seed=b"disk-chaos"),
+            crash_at={3: ["node-0", "node-1"]},
+            restart_at={5: ["node-0", "node-1"]},
+        )
+        assert report.converged
+        assert report.crashes == 2
+        # node-0 came back from its own store, node-1 needed a peer
+        assert report.disk_recoveries >= 1
+        assert report.resyncs >= 1
+        dep.close()

@@ -133,3 +133,97 @@ class TestMstBulkInsert:
             sequential.add(u)
         batched.apply_batch(add=utxos)
         assert batched.root == sequential.root
+
+
+def _paged_store(kind: str):
+    from repro.storage.pages import DictNodeStore, PagedNodeStore
+
+    if kind == "dict":
+        return DictNodeStore()
+    return PagedNodeStore(page_size=64, cache_pages=16)
+
+
+class TestPagedStoreAxis:
+    """PR 9: the same bulk workload across node-store backends.
+
+    The paged store must track the dict store's root exactly; the wall
+    difference is the price of page encode/decode at this cache size.
+    """
+
+    DEPTH = 12
+    N = 1024
+
+    @pytest.mark.parametrize("store", ["dict", "paged"])
+    def test_bench_bulk_insert_per_store(self, benchmark, store):
+        utxos = _distinct_slot_utxos(self.DEPTH, self.N)
+
+        def run():
+            mimc.clear_cache()
+            mst = MerkleStateTree(self.DEPTH, node_store=_paged_store(store))
+            mst.apply_batch(add=utxos)
+            return mst
+
+        mst = benchmark.pedantic(run, iterations=1, rounds=3)
+        assert mst.occupied_count == self.N
+        benchmark.extra_info["store"] = store
+
+    def test_paged_root_matches_dict(self):
+        utxos = _distinct_slot_utxos(self.DEPTH, 256)
+        reference = MerkleStateTree(self.DEPTH)
+        reference.apply_batch(add=utxos)
+        paged = MerkleStateTree(self.DEPTH, node_store=_paged_store("paged"))
+        paged.apply_batch(add=utxos)
+        assert paged.root == reference.root
+
+
+class TestCopyCostRegression:
+    """PR 9 satellite: ``MerkleStateTree.copy()`` must now actually be cheap.
+
+    With CoW page sharing a copy is flush + an O(top-layer) table seal, so
+    its cost must stay flat as occupancy grows 8x — and beat the dict
+    store's full-dict duplication at the higher occupancy outright.
+    """
+
+    DEPTH = 16
+    SMALL = 1024
+    LARGE = 8192
+
+    @staticmethod
+    def _steady_copy_cost(mst, repeats: int = 200) -> float:
+        import time
+
+        mst.copy()  # first copy pays the one-time dirty-page flush
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            mst.copy()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def _populated(self, count: int, store_kind: str) -> MerkleStateTree:
+        utxos = _distinct_slot_utxos(self.DEPTH, count)
+        mst = MerkleStateTree(self.DEPTH, node_store=_paged_store(store_kind))
+        mst.apply_batch(add=utxos)
+        # snapshots happen at epoch boundaries, where the touched-delta
+        # window restarts; copy cost is O(cache + delta), not O(occupied)
+        mst.reset_touched()
+        return mst
+
+    def test_paged_copy_cost_stays_flat_as_occupancy_grows(self):
+        small = self._steady_copy_cost(self._populated(self.SMALL, "paged"))
+        large = self._steady_copy_cost(self._populated(self.LARGE, "paged"))
+        # 8x the occupancy must not cost anywhere near 8x per copy; the
+        # generous 3x bound absorbs timer noise on sub-100us measurements
+        assert large <= small * 3, (
+            f"paged copy cost scaled with occupancy: {small * 1e6:.1f}us at "
+            f"{self.SMALL} leaves vs {large * 1e6:.1f}us at {self.LARGE}"
+        )
+
+    def test_paged_copy_beats_dict_copy_at_scale(self):
+        paged = self._steady_copy_cost(self._populated(self.LARGE, "paged"))
+        dictc = self._steady_copy_cost(self._populated(self.LARGE, "dict"))
+        assert paged < dictc, (
+            f"paged copy ({paged * 1e6:.1f}us) should undercut the dict "
+            f"store's full duplication ({dictc * 1e6:.1f}us) at "
+            f"{self.LARGE} occupied leaves"
+        )

@@ -66,6 +66,16 @@ re-validated peer resync (gate: disk strictly faster).
 ``--durability-only`` runs just this workload (the CI ``bench-durability``
 leg).
 
+The paged-MST soak (``BENCH_pr9.json``, run only under ``--soak-only`` —
+the nightly CI ``bench-soak`` leg) gates the PR 9 node-store layer three
+ways: byte-identical roots/proofs/epoch certificate bytes across dict and
+paged stores at generous and tiny cache sizes; a depth-30 million-UTXO
+bulk insert where the paged store must stay under a peak-RSS budget the
+dict store measurably exceeds (child processes, ``resource.getrusage``)
+at >= 0.5x the dict store's throughput; and a 1000-sidechain WCert flood
+that must fully converge in one shared submission window with every
+certificate verified through the batched ``ProverPool.map_verify`` path.
+
 Intended as a cheap CI gate for the MiMC/Merkle, prover performance,
 observability, template-cache, robustness, field-backend, scale-out and
 durable-storage layers (see docs/PERFORMANCE.md, docs/OBSERVABILITY.md,
@@ -105,6 +115,17 @@ DEFAULT_OUT_PR5 = Path(__file__).resolve().parent.parent / "BENCH_pr5.json"
 DEFAULT_OUT_PR6 = Path(__file__).resolve().parent.parent / "BENCH_pr6.json"
 DEFAULT_OUT_PR7 = Path(__file__).resolve().parent.parent / "BENCH_pr7.json"
 DEFAULT_OUT_PR8 = Path(__file__).resolve().parent.parent / "BENCH_pr8.json"
+DEFAULT_OUT_PR9 = Path(__file__).resolve().parent.parent / "BENCH_pr9.json"
+
+# PR 9 soak knobs.  The leaf count is env-tunable so developers can dry-run
+# the soak quickly (REPRO_SOAK_LEAVES=100000); CI's nightly bench-soak leg
+# runs the full million.  The RSS budget is expressed as headroom *above the
+# measured interpreter baseline* (a no-op child), so it ports across python
+# builds: the paged store must fit a million-UTXO depth-30 state in this
+# much extra memory, and the dict store must measurably fail to.
+SOAK_LEAVES = int(os.environ.get("REPRO_SOAK_LEAVES", "1000000"))
+SOAK_DEPTH = 30
+SOAK_RSS_HEADROOM_KB = int(os.environ.get("REPRO_SOAK_RSS_HEADROOM_KB", "131072"))
 
 _MIMC_COUNTERS = {
     "compressions": "repro_mimc_compressions_total",
@@ -867,6 +888,285 @@ def durability_checks(dur: dict) -> dict:
     }
 
 
+def run_paged_parity_workload() -> dict:
+    """The PR 9 hard gate: dict vs paged node stores must be bit-for-bit twins.
+
+    Three store configurations — :class:`DictNodeStore` (reference),
+    :class:`PagedNodeStore` at a generous cache, and :class:`PagedNodeStore`
+    at a pathologically tiny cache (8-node pages, 1 resident page, so every
+    other access spills and reloads) — each drive (a) a scattered
+    ``set_leaves`` bulk insert with membership proofs, and (b) a full
+    harness sidechain through two certified epochs.  Roots, proof objects,
+    chain digests and *epoch certificate bytes* must be identical across
+    all three.
+    """
+    from repro.scenarios import ZendooHarness
+    from repro.storage.pages import DictNodeStore, PagedNodeStore
+
+    depth = 12
+    positions = sorted({(i * 2654435761) % (1 << depth) for i in range(300)})
+    updates = [(p, p + 7) for p in positions]
+    probe = positions[:: max(1, len(positions) // 16)]
+    store_kinds = {
+        "dict": {},
+        "paged_generous": {
+            "paged_mst": True,
+            "mst_page_size": 1024,
+            "mst_cache_pages": 256,
+        },
+        "paged_tiny": {"paged_mst": True, "mst_page_size": 8, "mst_cache_pages": 1},
+    }
+
+    def _tree_store(name: str):
+        if name == "dict":
+            return DictNodeStore()
+        kwargs = store_kinds[name]
+        return PagedNodeStore(
+            page_size=kwargs["mst_page_size"], cache_pages=kwargs["mst_cache_pages"]
+        )
+
+    roots: dict[str, int] = {}
+    proofs: dict[str, list] = {}
+    walls: dict[str, float] = {}
+    for name in store_kinds:
+        mimc.clear_cache()
+        start = time.perf_counter()
+        tree = FixedMerkleTree(depth, node_store=_tree_store(name))
+        tree.set_leaves(updates)
+        roots[name] = tree.root
+        proofs[name] = [tree.prove(p) for p in probe]
+        walls[name] = time.perf_counter() - start
+
+    digests: dict[str, str] = {}
+    cert_counts: dict[str, int] = {}
+    cert_bytes: dict[str, bytes] = {}
+    for name, kwargs in store_kinds.items():
+        harness = ZendooHarness(use_network=False)
+        harness.mine(2)
+        sc = harness.create_sidechain(
+            "bench-pr9-parity", epoch_len=4, submit_len=2, **kwargs
+        )
+        user = KeyPair.from_seed("bench-pr9/user")
+        harness.forward_transfer(sc, user, 75_000)
+        harness.run_epochs(sc, 2)
+        digests[name] = f"{sc.node.tip_hash.hex()}:{sc.node.state.digest():#x}"
+        cert_counts[name] = len(sc.node.certificates)
+        cert_bytes[name] = b"".join(c.encode() for c in sc.node.certificates)
+        sc.node.close()
+
+    reference = cert_bytes["dict"]
+    return {
+        "workload": (
+            f"{len(positions)}-leaf scattered bulk insert + 2 certified harness "
+            "epochs under dict / paged(generous) / paged(tiny 8x1) node stores"
+        ),
+        "bulk_insert_wall_s": walls,
+        "roots_identical": len(set(roots.values())) == 1,
+        "proofs_identical": all(proofs[k] == proofs["dict"] for k in proofs),
+        "digests": digests,
+        "digests_identical": len(set(digests.values())) == 1,
+        "epoch_certificates": cert_counts["dict"],
+        "epoch_proof_bytes_compared": len(reference),
+        "epoch_proof_bytes_identical": all(b == reference for b in cert_bytes.values()),
+    }
+
+
+def _soak_child(store: str, data_dir: str | None = None) -> dict:
+    """Run one ``benchmarks.soak_mst`` child and parse its JSON report.
+
+    A child process per store kind because ``ru_maxrss`` is a
+    process-lifetime high-water mark: measuring both stores in one
+    interpreter would let the first run's peak mask the second's.
+    """
+    import subprocess
+
+    repo_root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["REPRO_FIELD_BACKEND"] = "batched"
+    env["PYTHONPATH"] = str(repo_root / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cmd = [
+        sys.executable,
+        "-m",
+        "benchmarks.soak_mst",
+        "--store",
+        store,
+        "--leaves",
+        str(SOAK_LEAVES),
+        "--depth",
+        str(SOAK_DEPTH),
+    ]
+    if data_dir is not None:
+        cmd += ["--data-dir", data_dir]
+    result = subprocess.run(
+        cmd, cwd=repo_root, env=env, capture_output=True, text=True, check=True
+    )
+    return json.loads(result.stdout)
+
+
+def run_million_utxo_soak() -> dict:
+    """The depth-30 million-UTXO soak: dict vs paged store, separate processes.
+
+    The gate is memory-shaped: the paged store must finish under
+    ``baseline + SOAK_RSS_HEADROOM_KB`` peak RSS while the dict store
+    measurably exceeds the same budget, at >= 0.5x the dict store's
+    bulk-insert throughput and with the identical root.
+    """
+    import shutil
+    import tempfile
+
+    baseline = _soak_child("baseline")
+    dict_run = _soak_child("dict")
+    spill_dir = tempfile.mkdtemp(prefix="bench-pr9-soak-")
+    try:
+        paged_run = _soak_child("paged", data_dir=spill_dir)
+        spill_bytes = sum(
+            p.stat().st_size for p in Path(spill_dir).iterdir() if p.is_file()
+        )
+    finally:
+        shutil.rmtree(spill_dir, ignore_errors=True)
+
+    budget_kb = baseline["peak_rss_kb"] + SOAK_RSS_HEADROOM_KB
+    return {
+        "workload": (
+            f"depth-{SOAK_DEPTH} tree, {SOAK_LEAVES} leaves, dict vs paged "
+            "node store in separate child processes"
+        ),
+        "leaves": SOAK_LEAVES,
+        "depth": SOAK_DEPTH,
+        "baseline_rss_kb": baseline["peak_rss_kb"],
+        "rss_headroom_kb": SOAK_RSS_HEADROOM_KB,
+        "rss_budget_kb": budget_kb,
+        "dict": {
+            "wall_s": dict_run["seconds"],
+            "peak_rss_kb": dict_run["peak_rss_kb"],
+            "root": dict_run["root"],
+        },
+        "paged": {
+            "wall_s": paged_run["seconds"],
+            "peak_rss_kb": paged_run["peak_rss_kb"],
+            "root": paged_run["root"],
+            "store_detail": paged_run.get("store_detail"),
+            "spill_bytes": spill_bytes,
+        },
+        "roots_match": dict_run["root"] == paged_run["root"],
+        "paged_under_budget": paged_run["peak_rss_kb"] <= budget_kb,
+        "dict_over_budget": dict_run["peak_rss_kb"] > budget_kb,
+        "throughput_ratio": (
+            dict_run["seconds"] / paged_run["seconds"]
+            if paged_run["seconds"]
+            else float("inf")
+        ),
+    }
+
+
+def run_wcert_flood_workload() -> dict:
+    """The 1000-sidechain WCert flood through the batched verification pool."""
+    from repro.scenarios.workload import CertificateFloodWorkload
+    from repro.snark.pool import ProverPool
+
+    count = int(os.environ.get("REPRO_SOAK_FLOOD_COUNT", "1000"))
+    flood = CertificateFloodWorkload(count=count, verify_pool=ProverPool())
+    try:
+        start = time.perf_counter()
+        flood.register()
+        registered_wall = time.perf_counter() - start
+        flood.run_epoch()
+        start = time.perf_counter()
+        certificates = flood.build_certificates()
+        prove_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        blocks = flood.flood(certificates)
+        flood_wall = time.perf_counter() - start
+        report = flood.adoption_report()
+    finally:
+        flood.close()
+    return {
+        "workload": (
+            f"{count} sidechains, one shared submission window, every WCert "
+            "through ProverPool.map_verify"
+        ),
+        "register_wall_s": registered_wall,
+        "prove_wall_s": prove_wall,
+        "flood_wall_s": flood_wall,
+        "window_blocks": blocks,
+        **report,
+    }
+
+
+def paged_parity_checks(parity: dict) -> dict:
+    """The PR 9 equivalence gate (also enforced in tests/test_paged_store.py)."""
+    return {
+        "paged_roots_identical": parity["roots_identical"],
+        "paged_proofs_identical": parity["proofs_identical"],
+        "paged_digests_identical": parity["digests_identical"],
+        "paged_epoch_proof_bytes_identical": parity["epoch_proof_bytes_identical"],
+        "paged_epochs_certified": parity["epoch_certificates"] > 0,
+    }
+
+
+def soak_checks(soak: dict, flood: dict) -> dict:
+    """The BENCH_pr9 gate: bounded memory, comparable speed, full adoption."""
+    return {
+        "soak_roots_match": soak["roots_match"],
+        # acceptance target: the paged store finishes the million-UTXO build
+        # inside the RSS budget that the dict store measurably exceeds
+        "soak_paged_under_rss_budget": soak["paged_under_budget"],
+        "soak_dict_exceeds_rss_budget": soak["dict_over_budget"],
+        # acceptance target: paged bulk-insert throughput >= 0.5x dict
+        "soak_paged_throughput_at_least_half": soak["throughput_ratio"] >= 0.5,
+        "flood_all_adopted": flood["adopted"] == flood["sidechains"],
+        # acceptance target: every certificate lands inside the one shared
+        # submission window, verified through the batched pool path
+        "flood_adopted_in_window": flood["adopted_in_window"] == flood["sidechains"],
+        "flood_verified_via_pool": flood["pool_verifications"] >= flood["sidechains"],
+    }
+
+
+def _run_soak_suite(out: Path) -> dict:
+    """Run the PR 9 paged-store suite, write its report, print a summary."""
+    parity = run_paged_parity_workload()
+    parity_gate = paged_parity_checks(parity)
+    soak = run_million_utxo_soak()
+    flood = run_wcert_flood_workload()
+    checks = {**parity_gate, **soak_checks(soak, flood)}
+    report = {
+        "suite": "paged MST node store soak (PR 9)",
+        "workloads": {
+            "paged_parity": parity,
+            "million_utxo": soak,
+            "wcert_flood": flood,
+        },
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"paged_parity: digests {sorted(set(parity['digests'].values()))} across "
+        f"dict/generous/tiny stores, {parity['epoch_certificates']} certified "
+        "epochs compared byte-for-byte"
+    )
+    print(
+        f"million_utxo: {soak['leaves']} leaves at depth {soak['depth']} — dict "
+        f"{soak['dict']['wall_s']:.1f}s / {soak['dict']['peak_rss_kb'] // 1024}MiB "
+        f"peak vs paged {soak['paged']['wall_s']:.1f}s / "
+        f"{soak['paged']['peak_rss_kb'] // 1024}MiB peak "
+        f"(budget {soak['rss_budget_kb'] // 1024}MiB, throughput ratio "
+        f"{soak['throughput_ratio']:.2f}x)"
+    )
+    print(
+        f"wcert_flood: {flood['adopted']}/{flood['sidechains']} adopted in window "
+        f"{flood['window']} over {flood['window_blocks']} blocks, "
+        f"{flood['pool_verifications']} pool verifications "
+        f"(prove {flood['prove_wall_s']:.1f}s, flood {flood['flood_wall_s']:.1f}s)"
+    )
+    for name, passed in checks.items():
+        print(f"  check {name}: {'ok' if passed else 'FAIL'}")
+    print(f"wrote {out}")
+    return report
+
+
 def _run_durability_suite(out: Path) -> dict:
     """Run the PR 8 durability workload, write its report, print a summary."""
     dur = run_durability_workload()
@@ -967,6 +1267,12 @@ def main(argv: list[str] | None = None) -> int:
         help="output JSON path for the storage-durability workload",
     )
     parser.add_argument(
+        "--out-pr9",
+        type=Path,
+        default=DEFAULT_OUT_PR9,
+        help="output JSON path for the paged-MST soak workload",
+    )
+    parser.add_argument(
         "--scale-only",
         action="store_true",
         help="run only the scale-out workload (the CI bench-scale leg)",
@@ -975,6 +1281,11 @@ def main(argv: list[str] | None = None) -> int:
         "--durability-only",
         action="store_true",
         help="run only the durability workload (the CI bench-durability leg)",
+    )
+    parser.add_argument(
+        "--soak-only",
+        action="store_true",
+        help="run only the paged-MST soak + WCert flood (the CI bench-soak leg)",
     )
     args = parser.parse_args(argv)
     for out in (
@@ -986,6 +1297,7 @@ def main(argv: list[str] | None = None) -> int:
         args.out_pr6,
         args.out_pr7,
         args.out_pr8,
+        args.out_pr9,
     ):
         if not out.parent.is_dir():
             parser.error(f"output directory does not exist: {out.parent}")
@@ -996,6 +1308,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.durability_only:
         pr8_report = _run_durability_suite(args.out_pr8)
         return 0 if pr8_report["ok"] else 1
+    if args.soak_only:
+        pr9_report = _run_soak_suite(args.out_pr9)
+        return 0 if pr9_report["ok"] else 1
 
     merkle = run_merkle_workload()
     mst = run_mst_workload()

@@ -6,16 +6,23 @@ occupied (the MiMC hash of the UTXO) or empty (``EMPTY_LEAF``).  Because the
 tree must be provable inside SNARK circuits, interior nodes use the
 MiMC compression function rather than blake2b.
 
-The implementation stores only occupied nodes in a dict keyed by
-``(level, index)`` and precomputes the hash of the all-empty subtree at each
-level, so a tree of depth 30 with a handful of UTXOs costs O(occupied * D)
-memory, and single-leaf updates cost O(D).
+The implementation stores only occupied nodes and precomputes the hash of
+the all-empty subtree at each level, so a tree of depth 30 with a handful
+of UTXOs costs O(occupied * D) memory, and single-leaf updates cost O(D).
+*Where* those nodes live is a pluggable policy (``repro.storage.pages``):
+the default :class:`~repro.storage.pages.DictNodeStore` keeps them in plain
+dicts, while :class:`~repro.storage.pages.PagedNodeStore` bounds resident
+memory with an LRU page cache spilling to an append-only segment — the
+store every node read/write, the occupied-leaf scan, and ``copy()`` route
+through.
 
 Bulk workloads should use :meth:`FixedMerkleTree.set_leaves`, which writes
 every leaf first and then rehashes each *distinct* dirty ancestor exactly
 once level-by-level — O(distinct ancestors) compressions instead of the
 O(k * D) a loop of :meth:`FixedMerkleTree.set_leaf` calls costs (see
-docs/PERFORMANCE.md).
+docs/PERFORMANCE.md).  The batch also prefetches the distinct pages each
+level will touch, so a paged store loads them in bulk rather than faulting
+node-by-node.
 """
 
 from __future__ import annotations
@@ -53,6 +60,14 @@ def empty_root(depth: int) -> int:
     if depth > MAX_DEPTH:
         raise MerkleError(f"depth {depth} exceeds max supported depth {MAX_DEPTH}")
     return _EMPTY_ROOTS[depth]
+
+
+def _default_node_store():
+    # Imported lazily: repro.storage pulls in the wire codecs, which import
+    # this module right back.  By first-construction time both are loaded.
+    from repro.storage.pages import DictNodeStore
+
+    return DictNodeStore()
 
 
 @dataclass(frozen=True)
@@ -100,24 +115,44 @@ class FixedMerkleTree:
     Leaves are addressed by position in ``[0, 2**depth)``.  Unset leaves hold
     :data:`EMPTY_LEAF`.  The tree supports point reads/writes, batched
     writes, proofs, and a cheap ``copy`` for state snapshotting.
+
+    ``node_store`` picks where nodes live (``repro.storage.pages``); the
+    default dict store matches the historical all-in-memory behavior
+    byte-for-byte.
     """
 
-    def __init__(self, depth: int) -> None:
+    def __init__(self, depth: int, node_store=None) -> None:
         if depth < 1:
             raise MerkleError("tree depth must be >= 1")
         if depth > MAX_DEPTH:
             raise MerkleError(f"tree depth > {MAX_DEPTH} is not supported")
         self.depth = depth
         self.capacity = 1 << depth
-        # nodes[(level, index)] -> value; level 0 = leaves, level depth = root
-        self._nodes: dict[tuple[int, int], int] = {}
+        # Only non-empty nodes are stored; level 0 = leaves, level depth =
+        # root.  The store never sees the empty sentinel (_store deletes).
+        self._nodes = node_store if node_store is not None else _default_node_store()
         # incremental count of non-empty leaves (maintained by _store)
         self._occupied = 0
+
+    @classmethod
+    def from_node_store(
+        cls, depth: int, node_store, occupied: int
+    ) -> "FixedMerkleTree":
+        """Adopt an already-populated store (snapshot recovery).
+
+        ``occupied`` is the persisted non-empty-leaf count — passing it in
+        lets a paged store restore lazily instead of scanning every leaf
+        page just to recount.
+        """
+        tree = cls(depth, node_store=node_store)
+        tree._occupied = occupied
+        return tree
 
     # -- reads --------------------------------------------------------------
 
     def _node(self, level: int, index: int) -> int:
-        return self._nodes.get((level, index), _EMPTY_ROOTS[level])
+        value = self._nodes.get(level, index)
+        return _EMPTY_ROOTS[level] if value is None else value
 
     @property
     def root(self) -> int:
@@ -138,11 +173,14 @@ class FixedMerkleTree:
         """Number of non-empty leaf slots (O(1): tracked incrementally)."""
         return self._occupied
 
+    @property
+    def node_store(self):
+        """The backing node store (for inspection/persistence)."""
+        return self._nodes
+
     def occupied_positions(self) -> list[int]:
-        """Sorted positions of non-empty leaves."""
-        return sorted(
-            idx for (level, idx), v in self._nodes.items() if level == 0 and v != EMPTY_LEAF
-        )
+        """Sorted positions of non-empty leaves (O(occupied leaves))."""
+        return sorted(idx for idx, value in self._nodes.leaf_items() if value != EMPTY_LEAF)
 
     # -- writes --------------------------------------------------------------
 
@@ -182,14 +220,21 @@ class FixedMerkleTree:
             pending[position] = value
         if not pending:
             return
+        self._nodes.prefetch(0, pending)
         for position, value in pending.items():
             self._store(0, position, value)
         dirty = set(pending)
         node = self._node
         store = self._store
+        prefetch = self._nodes.prefetch
         for level in range(1, self.depth + 1):
             parents = sorted({index >> 1 for index in dirty})
             below = level - 1
+            # Pull the distinct pages this level reads (children + their
+            # in-page siblings) and writes (parents) in bulk before the
+            # compute loop, so a paged store batches its loads.
+            prefetch(below, [i << 1 for i in parents])
+            prefetch(level, parents)
             # One batched compression per level: the whole frontier of dirty
             # parents goes to mimc_compress_many, which dedupes cache misses
             # and hands them to the active field backend as a single array
@@ -208,12 +253,11 @@ class FixedMerkleTree:
 
     def _store(self, level: int, index: int, value: int) -> None:
         if value == _EMPTY_ROOTS[level]:
-            if self._nodes.pop((level, index), None) is not None and level == 0:
+            if self._nodes.delete(level, index) and level == 0:
                 self._occupied -= 1
         else:
-            if level == 0 and (0, index) not in self._nodes:
+            if not self._nodes.set(level, index, value) and level == 0:
                 self._occupied += 1
-            self._nodes[(level, index)] = value
 
     # -- proofs --------------------------------------------------------------
 
@@ -232,9 +276,13 @@ class FixedMerkleTree:
     # -- misc ----------------------------------------------------------------
 
     def copy(self) -> "FixedMerkleTree":
-        """An independent snapshot of the tree (O(occupied nodes))."""
-        clone = FixedMerkleTree(self.depth)
-        clone._nodes = dict(self._nodes)
+        """An independent snapshot of the tree.
+
+        Cost is the node store's ``copy`` policy: O(occupied nodes) for the
+        dict store, O(resident pages) for the paged store (dirty pages are
+        flushed once and the page table is shared copy-on-write).
+        """
+        clone = FixedMerkleTree(self.depth, node_store=self._nodes.copy())
         clone._occupied = self._occupied
         return clone
 

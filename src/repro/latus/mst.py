@@ -21,9 +21,11 @@ from repro.latus.utxo import Utxo
 class MerkleStateTree:
     """The Latus UTXO commitment: a sparse fixed-depth MiMC Merkle tree."""
 
-    def __init__(self, depth: int) -> None:
+    def __init__(self, depth: int, node_store=None) -> None:
         self.depth = depth
-        self._tree = FixedMerkleTree(depth)
+        # node_store picks the tree's storage policy (repro.storage.pages):
+        # None = the in-memory dict store, PagedNodeStore = bounded cache.
+        self._tree = FixedMerkleTree(depth, node_store=node_store)
         self._touched: set[int] = set()
         # Write-ahead journal hook: called with the validated {position:
         # leaf} update dict *before* the tree mutates (durability layer).
@@ -163,6 +165,17 @@ class MerkleStateTree:
         """Opening of an arbitrary slot (used for non-membership)."""
         return self._tree.prove(position)
 
+    # -- node store ----------------------------------------------------------------
+
+    @property
+    def node_store(self):
+        """The tree's backing node store (inspection/persistence)."""
+        return self._tree.node_store
+
+    def describe_store(self) -> dict:
+        """The node store's ``describe()`` dict (cache occupancy etc.)."""
+        return self._tree.node_store.describe()
+
     # -- write-ahead journal --------------------------------------------------------
 
     def attach_journal(self, journal) -> None:
@@ -197,3 +210,13 @@ class MerkleStateTree:
         clone._tree = self._tree.copy()
         clone._touched = set(self._touched)
         return clone
+
+    @classmethod
+    def adopt(cls, tree: FixedMerkleTree) -> "MerkleStateTree":
+        """Wrap an already-built tree (snapshot recovery)."""
+        mst = cls.__new__(cls)
+        mst.depth = tree.depth
+        mst._tree = tree
+        mst._touched = set()
+        mst._journal = None
+        return mst

@@ -80,6 +80,14 @@ from repro.storage import (
     encode_leaf_batch,
 )
 from repro.storage import codec as storage_codec
+from repro.storage.pages import (
+    DEFAULT_CACHE_PAGES,
+    DEFAULT_PAGE_SIZE,
+    PAGE_SEGMENT_NAME,
+    FilePageBacking,
+    MemoryPageBacking,
+    PagedNodeStore,
+)
 
 _REGISTRY = observability.registry()
 _BLOCKS_FORGED = _REGISTRY.counter(
@@ -168,6 +176,9 @@ class LatusNode(NodeLifecycle):
         data_dir=None,
         fsync: str = "block",
         storage: StateStore | None = None,
+        paged_mst: bool = False,
+        mst_page_size: int = DEFAULT_PAGE_SIZE,
+        mst_cache_pages: int = DEFAULT_CACHE_PAGES,
     ) -> None:
         self.config = config
         self.params = params
@@ -201,6 +212,13 @@ class LatusNode(NodeLifecycle):
         self._init_lifecycle(store)
         #: True while replaying the store; suppresses all durable writes.
         self._recovering = False
+        #: MST storage policy: paged_mst=True bounds resident memory with a
+        #: PagedNodeStore (LRU page cache spilling to pages.seg next to the
+        #: WAL when a FileStore is attached, to memory otherwise).
+        self._paged_mst = paged_mst
+        self._mst_page_size = mst_page_size
+        self._mst_cache_pages = mst_cache_pages
+        self._page_backing = None
 
         self._reset_chain_state()
         if self._store is not None:
@@ -217,8 +235,37 @@ class LatusNode(NodeLifecycle):
 
     # -- chain state (rebuilt wholesale on MC reorgs) ---------------------------------
 
+    def _ensure_page_backing(self):
+        """The page backing for the *current* store (re-derived on restart)."""
+        if not self._paged_mst:
+            return None
+        if isinstance(self._store, FileStore):
+            path = self._store.data_dir / PAGE_SEGMENT_NAME
+            if (
+                not isinstance(self._page_backing, FilePageBacking)
+                or self._page_backing.path != path
+            ):
+                if self._page_backing is not None:
+                    self._page_backing.close()
+                self._page_backing = FilePageBacking(path)
+        elif self._page_backing is None:
+            self._page_backing = MemoryPageBacking()
+        return self._page_backing
+
+    def _make_node_store(self):
+        """A fresh node store honoring the configured MST storage policy."""
+        if not self._paged_mst:
+            return None
+        return PagedNodeStore(
+            page_size=self._mst_page_size,
+            cache_pages=self._mst_cache_pages,
+            backing=self._ensure_page_backing(),
+        )
+
     def _reset_chain_state(self) -> None:
-        self.state = LatusState(self.params.mst_depth)
+        self.state = LatusState(
+            self.params.mst_depth, node_store=self._make_node_store()
+        )
         self.utxo_index: dict[int, Utxo] = {}
         self.blocks: list[SidechainBlock] = []
         self.block_snapshots: list[_NodeSnapshot] = []
@@ -258,6 +305,9 @@ class LatusNode(NodeLifecycle):
         self.prover.close()
         if self._store is not None:
             self._store.close()
+        if self._page_backing is not None:
+            self._page_backing.close()
+            self._page_backing = None
 
     # -- lifecycle hooks (crash/restart/sync_from live in NodeLifecycle) ----------------
 
@@ -293,14 +343,37 @@ class LatusNode(NodeLifecycle):
             self._store.stage(SC_BLOCK, wire.encode_sidechain_block(block))
             self._store.commit()
 
+    def _state_section(self) -> tuple[str, bytes]:
+        """The state snapshot section under the configured storage policy.
+
+        Paged over a file backing: flush the dirty pages into ``pages.seg``,
+        fsync it, and persist only the page-table refs — the bytes written
+        per epoch are the pages dirtied since the last snapshot, not the
+        whole leaf set.  Everything else (dict store, or paged over a
+        memory backing whose refs cannot outlive the process) falls back to
+        the v1 full-leaf encoding.
+        """
+        store = self.state.mst.node_store
+        if isinstance(store, PagedNodeStore) and isinstance(
+            store.backing, FilePageBacking
+        ):
+            store.flush()
+            store.backing.sync()
+            return (
+                "latus/state_pages",
+                storage_codec.encode_latus_state_pages(self.state),
+            )
+        return ("latus/state", storage_codec.encode_latus_state(self.state))
+
     def _snapshot_sections(self) -> dict[str, bytes]:
+        state_key, state_payload = self._state_section()
         return {
             "latus/meta": storage_codec.encode_latus_meta(
                 self.epoch.epoch_id,
                 self.last_referenced_mc_height,
                 self.skipped_slots,
             ),
-            "latus/state": storage_codec.encode_latus_state(self.state),
+            state_key: state_payload,
             "latus/epoch": storage_codec.encode_epoch_ledger(self.epoch),
             "latus/blocks": storage_codec.encode_blob_sequence(
                 [wire.encode_sidechain_block(b) for b in self.blocks]
@@ -369,9 +442,55 @@ class LatusNode(NodeLifecycle):
         count_disk_recovery()
         return True
 
+    def _restore_state_section(self, sections: dict[str, bytes]):
+        """Decode whichever state section the snapshot carries.
+
+        A paged section restores *lazily*: only the page-table refs are
+        read here, and pages fault back in from ``pages.seg`` as the node
+        touches state.  A snapshot written under the other storage policy
+        is re-housed into the configured one (leaves re-inserted), so
+        flipping ``paged_mst`` across restarts is always safe.
+        """
+        temp_backing = None
+        if "latus/state_pages" in sections:
+            backing = self._page_backing
+            if not isinstance(backing, FilePageBacking):
+                if not isinstance(self._store, FileStore):
+                    raise StorageError(
+                        "paged state snapshot requires a file store to resolve pages"
+                    )
+                backing = FilePageBacking(self._store.data_dir / PAGE_SEGMENT_NAME)
+                if self._paged_mst:
+                    self._page_backing = backing
+                else:
+                    temp_backing = backing
+            state = storage_codec.decode_latus_state_pages(
+                sections["latus/state_pages"], backing,
+                cache_pages=self._mst_cache_pages,
+            )
+        else:
+            state = storage_codec.decode_latus_state(sections["latus/state"])
+        state = self._rehouse_state(state)
+        if temp_backing is not None:
+            temp_backing.close()
+        return state
+
+    def _rehouse_state(self, state: LatusState) -> LatusState:
+        """Move a recovered state onto this node's configured node store."""
+        paged = isinstance(state.mst.node_store, PagedNodeStore)
+        if paged == self._paged_mst:
+            return state
+        fresh = LatusState(state.mst.depth, node_store=self._make_node_store())
+        leaves = dict(state.mst.node_store.leaf_items())
+        if leaves:
+            fresh.mst._tree.set_leaves(leaves)
+        fresh.mst._touched = set(state.mst._touched)
+        fresh.backward_transfers = list(state.backward_transfers)
+        return fresh
+
     def _restore_snapshot(self, sections: dict[str, bytes]) -> None:
         try:
-            self.state = storage_codec.decode_latus_state(sections["latus/state"])
+            self.state = self._restore_state_section(sections)
             _, last_ref, skipped = storage_codec.decode_latus_meta(
                 sections["latus/meta"]
             )

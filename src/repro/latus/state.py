@@ -35,8 +35,8 @@ def _bt_field(bt: BackwardTransfer) -> tuple[int, int]:
 class LatusState:
     """The full sidechain state with validated transition application."""
 
-    def __init__(self, mst_depth: int) -> None:
-        self.mst = MerkleStateTree(mst_depth)
+    def __init__(self, mst_depth: int, node_store=None) -> None:
+        self.mst = MerkleStateTree(mst_depth, node_store=node_store)
         self.backward_transfers: list[BackwardTransfer] = []
 
     # -- digests ------------------------------------------------------------------

@@ -139,6 +139,7 @@ class ZendooHarness:
         store=None,
         data_dir=None,
         fsync: str = "block",
+        **node_kwargs,
     ) -> SidechainHandle:
         """Declare a Latus sidechain on the MC and attach an observing node.
 
@@ -146,7 +147,9 @@ class ZendooHarness:
         pipeline (see :class:`repro.snark.pool.ProverPool`); the default
         ``None`` keeps the serial path.  ``store=`` / ``data_dir=`` attach a
         durable :class:`~repro.storage.StateStore` to the node (see
-        ``docs/STORAGE.md``).
+        ``docs/STORAGE.md``).  Remaining keyword arguments go to the
+        :class:`~repro.latus.node.LatusNode` constructor verbatim (e.g.
+        ``paged_mst=True`` for the bounded-memory MST store).
         """
         config = latus_sidechain_config(
             seed=seed,
@@ -166,6 +169,7 @@ class ZendooHarness:
             store=store,
             data_dir=data_dir,
             fsync=fsync,
+            **node_kwargs,
         )
         handle = SidechainHandle(config=config, node=node)
         self.sidechains[config.ledger_id] = handle

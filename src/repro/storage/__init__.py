@@ -16,6 +16,16 @@ See ``docs/STORAGE.md`` for the on-disk layout and recovery semantics.
 from repro.errors import StorageError
 from repro.storage.explorer import format_inspection, inspect_store
 from repro.storage.filestore import FileStore
+from repro.storage.pages import (
+    DEFAULT_CACHE_PAGES,
+    DEFAULT_PAGE_SIZE,
+    PAGE_SEGMENT_NAME,
+    DictNodeStore,
+    FilePageBacking,
+    MemoryPageBacking,
+    NodeStore,
+    PagedNodeStore,
+)
 from repro.storage.records import (
     KIND_NAMES,
     MC_BLOCK,
@@ -36,8 +46,16 @@ from repro.storage.store import (
 )
 
 __all__ = [
+    "DEFAULT_CACHE_PAGES",
+    "DEFAULT_PAGE_SIZE",
+    "DictNodeStore",
     "FSYNC_POLICIES",
+    "FilePageBacking",
     "FileStore",
+    "MemoryPageBacking",
+    "NodeStore",
+    "PAGE_SEGMENT_NAME",
+    "PagedNodeStore",
     "KIND_NAMES",
     "MC_BLOCK",
     "MemoryStore",

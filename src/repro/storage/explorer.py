@@ -103,13 +103,49 @@ def _inspect_mainchain(snapshot, records, info: dict) -> dict:
     return info
 
 
+def _inspect_pages(store: StateStore, snapshot) -> dict | None:
+    """Summarize the MST page segment next to a file store, if one exists.
+
+    Reports the append-only segment (every page version ever written) and
+    the *live* page table from the latest snapshot.  Resident/dirty counts
+    are zero by construction for an at-rest store: dirty pages are flushed
+    before every snapshot and nothing is cached offline.
+    """
+    data_dir = getattr(store, "data_dir", None)
+    if data_dir is None:
+        return None
+    from repro.storage.pages import PAGE_SEGMENT_NAME, FilePageBacking
+
+    path = data_dir / PAGE_SEGMENT_NAME
+    if not path.exists():
+        return None
+    backing = FilePageBacking(path, read_only=True)
+    try:
+        page_records = list(backing.scan())
+    finally:
+        backing.close()
+    pages: dict = {
+        "segment": str(path),
+        "bytes": path.stat().st_size,
+        "page_records": len(page_records),
+        "distinct_pages": len({(lv, pn) for lv, pn, _ in page_records}),
+        "resident_pages": 0,
+        "dirty_pages": 0,
+    }
+    if snapshot is not None:
+        section = snapshot[1].get("latus/state_pages")
+        if section is not None:
+            pages.update(codec.summarize_latus_state_pages(section))
+    return pages
+
+
 def inspect_store(store: StateStore) -> dict:
     """Summarize a store's contents without building a node.
 
     Returns a dict with at least ``kind`` (``"latus"``, ``"mainchain"`` or
     ``"empty"``), ``height``, ``tip_digest``, ``snapshot_epoch``,
     ``wal_records`` and the backend's ``describe()`` output under
-    ``backend``.
+    ``backend``; stores with an MST page segment also get ``page_store``.
     """
     snapshot = store.latest_snapshot()
     records = store.records()
@@ -119,6 +155,9 @@ def inspect_store(store: StateStore) -> dict:
         "wal_records": len(records),
         "wal_record_kinds": _record_histogram(records),
     }
+    pages = _inspect_pages(store, snapshot)
+    if pages is not None:
+        info["page_store"] = pages
     section_keys = set(snapshot[1]) if snapshot is not None else set()
     record_kinds = {kind for kind, _ in records}
     is_latus = any(k.startswith("latus/") for k in section_keys) or (
@@ -157,4 +196,21 @@ def format_inspection(info: dict) -> str:
     if kinds:
         detail = ", ".join(f"{name}={count}" for name, count in sorted(kinds.items()))
         lines.append(f"wal record kinds: {detail}")
+    pages = info.get("page_store")
+    if pages:
+        lines.append(
+            f"page segment: {pages['bytes']} bytes on disk, "
+            f"{pages['page_records']} page records "
+            f"({pages['distinct_pages']} distinct pages)"
+        )
+        if pages.get("live_pages") is not None:
+            lines.append(
+                f"page table: {pages['live_pages']} live pages "
+                f"({pages['live_bytes']} bytes), page_size={pages['page_size']}, "
+                f"occupied leaves={pages['occupied_leaves']}"
+            )
+        lines.append(
+            f"resident pages: {pages['resident_pages']}, "
+            f"dirty pages: {pages['dirty_pages']}"
+        )
     return "\n".join(lines)

@@ -88,6 +88,21 @@ class TestWorkflowStructure:
         assert uploads[0]["if"] == "always()"
         assert uploads[0]["with"]["if-no-files-found"] == "error"
 
+    def test_bench_soak_leg_uploads_pr9_report(self, workflow):
+        """The PR 9 leg: the paged-MST soak is nightly/dispatch-only (it
+        builds a million-UTXO tree twice), runs via ``--soak-only`` and
+        always uploads BENCH_pr9.json."""
+        job = workflow["jobs"]["bench-soak"]
+        assert "schedule" in job["if"] and "workflow_dispatch" in job["if"]
+        assert "python -m benchmarks.smoke --soak-only" in job_commands(job)
+        uploads = [
+            step for step in job["steps"]
+            if "upload-artifact" in step.get("uses", "")
+        ]
+        assert uploads and uploads[0]["with"]["path"] == "BENCH_pr9.json"
+        assert uploads[0]["if"] == "always()"
+        assert uploads[0]["with"]["if-no-files-found"] == "error"
+
     def test_backend_parity_matrix(self, workflow):
         """The PR 6 leg: one job per field backend, never fail-fast, with
         the optional accelerator installs marked best-effort so missing

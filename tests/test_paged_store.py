@@ -1,0 +1,246 @@
+"""PR 9: page-cache correctness for the pluggable MST node stores.
+
+Everything here enforces one invariant — ``PagedNodeStore`` is
+observationally identical to ``DictNodeStore`` (same roots, same proofs,
+same leaf enumeration) no matter how hard the cache is starved.  The
+spill/load machinery may only ever change *where* a node lives, never what
+any read returns.
+"""
+
+import pytest
+
+from repro import observability
+from repro.crypto.fixed_merkle import FixedMerkleTree
+from repro.latus.mst import MerkleStateTree
+from repro.latus.utxo import Utxo
+from repro.storage.pages import (
+    DictNodeStore,
+    FilePageBacking,
+    MemoryPageBacking,
+    PagedNodeStore,
+    decode_page,
+    encode_page,
+)
+
+DEPTH = 10
+
+
+def _page_counter(name: str) -> int:
+    """Current value of one ``repro_mst_page_*_total`` registry counter."""
+    return int(observability.registry().counter(f"repro_mst_page_{name}_total").value())
+
+# (page_size, cache_pages): generous, mid, and pathological (one resident
+# 8-node page, so nearly every access crosses the spill/load boundary)
+PAGED_CONFIGS = [(1024, 256), (8, 3), (8, 1)]
+
+
+def _positions(count: int, seed: int = 1) -> list[int]:
+    """Deterministic scattered positions, pairwise distinct."""
+    out: set[int] = set()
+    x = seed
+    while len(out) < count:
+        x = (x * 1103515245 + 12345) % (1 << 31)
+        out.add(x % (1 << DEPTH))
+    return sorted(out)
+
+
+class TestPageCodec:
+    def test_roundtrip(self):
+        entries = {0: 1, 7: (1 << 254) - 3, 1023: 42}
+        assert decode_page(encode_page(entries)) == entries
+
+    def test_empty_page(self):
+        assert decode_page(encode_page({})) == {}
+
+    def test_encoding_is_canonical(self):
+        # same entries in any insertion order encode to the same bytes
+        a = {3: 30, 1: 10, 2: 20}
+        b = {1: 10, 2: 20, 3: 30}
+        assert encode_page(a) == encode_page(b)
+
+
+class TestParityFuzz:
+    @pytest.mark.parametrize("page_size,cache_pages", PAGED_CONFIGS)
+    def test_bulk_insert_roots_and_proofs_match_dict(self, page_size, cache_pages):
+        positions = _positions(120)
+        updates = [(p, p + 11) for p in positions]
+        reference = FixedMerkleTree(DEPTH, node_store=DictNodeStore())
+        reference.set_leaves(updates)
+        paged = FixedMerkleTree(
+            DEPTH,
+            node_store=PagedNodeStore(page_size=page_size, cache_pages=cache_pages),
+        )
+        paged.set_leaves(updates)
+        assert paged.root == reference.root
+        assert paged.occupied_count == reference.occupied_count
+        assert paged.occupied_positions() == reference.occupied_positions()
+        for p in positions[::7]:
+            assert paged.prove(p) == reference.prove(p)
+
+    @pytest.mark.parametrize("page_size,cache_pages", PAGED_CONFIGS)
+    def test_mixed_set_clear_sequence(self, page_size, cache_pages):
+        # interleaved single-leaf writes, clears and re-writes: the paged
+        # store must track empty-subtree deletions exactly like the dict
+        reference = FixedMerkleTree(DEPTH, node_store=DictNodeStore())
+        paged = FixedMerkleTree(
+            DEPTH,
+            node_store=PagedNodeStore(page_size=page_size, cache_pages=cache_pages),
+        )
+        positions = _positions(60, seed=9)
+        for step, p in enumerate(positions):
+            for tree in (reference, paged):
+                tree.set_leaf(p, step + 1)
+            if step % 3 == 0:
+                victim = positions[step // 2]
+                for tree in (reference, paged):
+                    tree.clear_leaf(victim)
+            assert paged.root == reference.root
+        assert paged.occupied_positions() == reference.occupied_positions()
+
+    def test_eviction_mid_apply_batch(self):
+        # an MST batch bigger than the whole cache: pages spill and reload
+        # *during* one apply_batch without corrupting the rehash
+        utxos = []
+        seen: set[int] = set()
+        nonce = 0
+        while len(utxos) < 200:
+            u = Utxo(addr=1, amount=5, nonce=nonce)
+            nonce += 1
+            if (pos := u.position(DEPTH)) not in seen:
+                seen.add(pos)
+                utxos.append(u)
+        reference = MerkleStateTree(DEPTH)
+        reference.apply_batch(add=utxos)
+        paged = MerkleStateTree(
+            DEPTH, node_store=PagedNodeStore(page_size=8, cache_pages=2)
+        )
+        paged.apply_batch(add=utxos[:150])
+        paged.apply_batch(add=utxos[150:], remove=utxos[:10])
+        reference2 = MerkleStateTree(DEPTH)
+        reference2.apply_batch(add=utxos)
+        reference2.apply_batch(remove=utxos[:10])
+        assert paged.root == reference2.root
+        assert paged.occupied_count == reference2.occupied_count
+
+    def test_proof_generation_forces_cold_loads(self):
+        # fill, flush everything out through a 1-page cache, then prove:
+        # every sibling read is a cold load from the backing
+        store = PagedNodeStore(page_size=8, cache_pages=1)
+        tree = FixedMerkleTree(DEPTH, node_store=store)
+        positions = _positions(100, seed=4)
+        tree.set_leaves([(p, p + 1) for p in positions])
+        store.flush()
+        reference = FixedMerkleTree(DEPTH, node_store=DictNodeStore())
+        reference.set_leaves([(p, p + 1) for p in positions])
+        loads_before = _page_counter("loads")
+        for p in positions:
+            assert tree.prove(p) == reference.prove(p)
+        assert _page_counter("loads") > loads_before
+
+
+class TestCopyOnWrite:
+    def test_copies_are_independent(self):
+        original = FixedMerkleTree(
+            DEPTH, node_store=PagedNodeStore(page_size=8, cache_pages=4)
+        )
+        original.set_leaves([(p, p + 1) for p in _positions(50)])
+        root = original.root
+        clone = original.copy()
+        assert clone.root == root
+        clone.set_leaf(_positions(50)[0], 999)
+        assert original.root == root
+        assert clone.root != root
+        # and the original can keep writing without touching the clone
+        clone_root = clone.root
+        original.set_leaf(_positions(50)[1], 888)
+        assert clone.root == clone_root
+
+    def test_copy_shares_clean_pages(self):
+        store = PagedNodeStore(page_size=8, cache_pages=4)
+        tree = FixedMerkleTree(DEPTH, node_store=store)
+        tree.set_leaves([(p, p + 1) for p in _positions(80)])
+        clone_store = tree.copy().node_store
+        # copy() flushes, so the clone starts with zero resident pages and
+        # a table layered over the original's — not a deep rebuild
+        assert clone_store.describe()["resident_pages"] == 0
+        assert (
+            clone_store.describe()["spilled_pages"]
+            == store.describe()["spilled_pages"]
+        )
+
+
+class TestFileBacking:
+    def test_spill_reload_roundtrip(self, tmp_path):
+        backing = FilePageBacking(tmp_path / "pages.seg")
+        store = PagedNodeStore(page_size=8, cache_pages=2, backing=backing)
+        tree = FixedMerkleTree(DEPTH, node_store=store)
+        updates = [(p, p + 3) for p in _positions(90)]
+        tree.set_leaves(updates)
+        root = tree.root
+        store.flush()
+        backing.sync()
+
+        # a second store over the same segment, seeded from the first's
+        # table: byte-identical reads without re-writing anything
+        reopened = PagedNodeStore.from_table(
+            store.table_items(),
+            FilePageBacking(tmp_path / "pages.seg", read_only=True),
+            page_size=8,
+            cache_pages=2,
+        )
+        tree2 = FixedMerkleTree(DEPTH, node_store=reopened)
+        assert tree2.root == root
+        assert sorted(reopened.leaf_items()) == sorted(store.leaf_items())
+        reopened.close()
+        store.close()
+
+    def test_scan_stops_at_torn_tail(self, tmp_path):
+        backing = FilePageBacking(tmp_path / "pages.seg")
+        backing.store(0, 0, encode_page({1: 2}))
+        backing.store(0, 1, encode_page({3: 4}))
+        backing.sync()
+        backing.close()
+        path = tmp_path / "pages.seg"
+        path.write_bytes(path.read_bytes() + b"\x01\xff\xff")  # torn record
+        reopened = FilePageBacking(path, read_only=True)
+        assert len(list(reopened.scan())) == 2
+        reopened.close()
+
+    def test_leaf_items_does_not_evict_working_set(self, tmp_path):
+        # scanning every leaf page must not admit spilled pages into the
+        # cache (a full scan would otherwise wipe the resident working set)
+        backing = MemoryPageBacking()
+        store = PagedNodeStore(page_size=8, cache_pages=2, backing=backing)
+        tree = FixedMerkleTree(DEPTH, node_store=store)
+        tree.set_leaves([(p, p + 1) for p in _positions(64)])
+        store.flush()
+        resident_before = store.describe()["resident_pages"]
+        list(store.leaf_items())
+        assert store.describe()["resident_pages"] == resident_before
+
+
+class TestObservability:
+    def test_registry_counters_move_under_cache_pressure(self):
+        before = {k: _page_counter(k) for k in ("hits", "misses", "evictions")}
+        store = PagedNodeStore(page_size=8, cache_pages=1)
+        tree = FixedMerkleTree(DEPTH, node_store=store)
+        tree.set_leaves([(p, p + 1) for p in _positions(40)])
+        store.flush()
+        flushes_mark = _page_counter("flushes")
+        assert _page_counter("hits") > before["hits"]
+        assert _page_counter("misses") > before["misses"]
+        assert _page_counter("evictions") > before["evictions"]
+        # flushing an already-clean store is a no-op
+        store.flush()
+        assert _page_counter("flushes") == flushes_mark
+
+    def test_describe_reports_cache_shape(self):
+        store = PagedNodeStore(page_size=8, cache_pages=1)
+        tree = FixedMerkleTree(DEPTH, node_store=store)
+        tree.set_leaves([(p, p + 1) for p in _positions(40)])
+        info = store.describe()
+        assert info["kind"] == "paged"
+        assert info["page_size"] == 8
+        assert info["cache_pages"] == 1
+        assert info["resident_pages"] <= 1
+        assert info["spilled_pages"] > 0

@@ -116,6 +116,12 @@ DEFAULT_OUT_PR6 = Path(__file__).resolve().parent.parent / "BENCH_pr6.json"
 DEFAULT_OUT_PR7 = Path(__file__).resolve().parent.parent / "BENCH_pr7.json"
 DEFAULT_OUT_PR8 = Path(__file__).resolve().parent.parent / "BENCH_pr8.json"
 DEFAULT_OUT_PR9 = Path(__file__).resolve().parent.parent / "BENCH_pr9.json"
+DEFAULT_OUT_PR10 = Path(__file__).resolve().parent.parent / "BENCH_pr10.json"
+
+# PR 10 adversarial-scenario knobs: PR-time CI runs the quick shape; the
+# nightly sweep (REPRO_ADVERSARIAL_FULL=1) widens every scenario's epoch.
+ADVERSARIAL_QUICK_TXS = 6
+ADVERSARIAL_FULL_TXS = 16
 
 # PR 9 soak knobs.  The leaf count is env-tunable so developers can dry-run
 # the soak quickly (REPRO_SOAK_LEAVES=100000); CI's nightly bench-soak leg
@@ -1167,6 +1173,81 @@ def _run_soak_suite(out: Path) -> dict:
     return report
 
 
+def run_adversarial_workload() -> dict:
+    """The PR 10 red-team sweep: every proof-market attack scenario.
+
+    Runs the full :data:`repro.scenarios.adversarial.SCENARIOS` registry at
+    the quick (PR) or full (nightly, ``REPRO_ADVERSARIAL_FULL=1``) epoch
+    shape and reports each scenario's gated checks plus the headline
+    payout facts.
+    """
+    from repro.scenarios.adversarial import run_all
+
+    full = os.environ.get("REPRO_ADVERSARIAL_FULL", "0") == "1"
+    tx_count = ADVERSARIAL_FULL_TXS if full else ADVERSARIAL_QUICK_TXS
+    started = time.perf_counter()
+    reports = run_all(seed=b"smoke", tx_count=tx_count)
+    return {
+        "mode": "full" if full else "quick",
+        "tx_count": tx_count,
+        "wall_s": time.perf_counter() - started,
+        "scenarios": {rep.name: rep.to_dict() for rep in reports},
+    }
+
+
+def adversarial_checks(adv: dict) -> dict:
+    """One gate per scenario, plus the cross-cutting market invariants."""
+    scenarios = adv["scenarios"]
+    checks = {
+        f"{name.replace('-', '_')}_passed": rep["passed"]
+        for name, rep in scenarios.items()
+    }
+    checks["all_epochs_proven"] = all(
+        rep["checks"]["epoch_proven"] for rep in scenarios.values()
+    )
+    checks["all_digests_match_honest"] = all(
+        rep["checks"]["digest_matches_honest"] and rep["checks"]["proof_matches_honest"]
+        for rep in scenarios.values()
+    )
+    checks["all_conserve_rewards_exactly"] = all(
+        rep["checks"]["conservation_exact"] for rep in scenarios.values()
+    )
+    checks["all_deterministic_replays"] = all(
+        rep["checks"]["deterministic_replay"] for rep in scenarios.values()
+    )
+    return checks
+
+
+def _run_adversarial_suite(out: Path) -> dict:
+    """Run the PR 10 red-team suite, write its report, print a summary."""
+    adv = run_adversarial_workload()
+    checks = adversarial_checks(adv)
+    report = {
+        "suite": "adversarial proof market smoke (PR 10)",
+        "workloads": {"adversarial": adv},
+        "checks": checks,
+        "ok": all(checks.values()),
+    }
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"adversarial: {len(adv['scenarios'])} scenarios at {adv['tx_count']} txs "
+        f"({adv['mode']} mode) in {adv['wall_s']:.1f}s"
+    )
+    for name, rep in adv["scenarios"].items():
+        gates = rep["checks"]
+        failed = sorted(g for g, ok in gates.items() if not ok)
+        stmt = rep["statement"]
+        print(
+            f"  {name}: {'ok' if rep['passed'] else 'FAIL ' + str(failed)} — "
+            f"pool {stmt['pool_in']}, forger {stmt['forger_reward']}, "
+            f"paid {stmt['total_paid']}, slashed {stmt['total_slashed']}"
+        )
+    for name, passed in checks.items():
+        print(f"  check {name}: {'ok' if passed else 'FAIL'}")
+    print(f"wrote {out}")
+    return report
+
+
 def _run_durability_suite(out: Path) -> dict:
     """Run the PR 8 durability workload, write its report, print a summary."""
     dur = run_durability_workload()
@@ -1273,6 +1354,12 @@ def main(argv: list[str] | None = None) -> int:
         help="output JSON path for the paged-MST soak workload",
     )
     parser.add_argument(
+        "--out-pr10",
+        type=Path,
+        default=DEFAULT_OUT_PR10,
+        help="output JSON path for the adversarial proof-market workload",
+    )
+    parser.add_argument(
         "--scale-only",
         action="store_true",
         help="run only the scale-out workload (the CI bench-scale leg)",
@@ -1287,6 +1374,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run only the paged-MST soak + WCert flood (the CI bench-soak leg)",
     )
+    parser.add_argument(
+        "--adversarial-only",
+        action="store_true",
+        help="run only the proof-market red-team suite "
+        "(the CI scenario-adversarial leg)",
+    )
     args = parser.parse_args(argv)
     for out in (
         args.out,
@@ -1298,6 +1391,7 @@ def main(argv: list[str] | None = None) -> int:
         args.out_pr7,
         args.out_pr8,
         args.out_pr9,
+        args.out_pr10,
     ):
         if not out.parent.is_dir():
             parser.error(f"output directory does not exist: {out.parent}")
@@ -1311,6 +1405,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.soak_only:
         pr9_report = _run_soak_suite(args.out_pr9)
         return 0 if pr9_report["ok"] else 1
+    if args.adversarial_only:
+        pr10_report = _run_adversarial_suite(args.out_pr10)
+        return 0 if pr10_report["ok"] else 1
 
     merkle = run_merkle_workload()
     mst = run_mst_workload()
@@ -1454,9 +1551,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  check {name}: {'ok' if passed else 'FAIL'}")
     pr7_report = _run_scale_suite(args.out_pr7)
     pr8_report = _run_durability_suite(args.out_pr8)
+    pr10_report = _run_adversarial_suite(args.out_pr10)
     print(
         f"wrote {args.out}, {args.out_pr2}, {args.out_pr3}, {args.out_pr4}, "
-        f"{args.out_pr5}, {args.out_pr6}, {args.out_pr7} and {args.out_pr8}"
+        f"{args.out_pr5}, {args.out_pr6}, {args.out_pr7}, {args.out_pr8} "
+        f"and {args.out_pr10}"
     )
     return 0 if all(
         r["ok"]
@@ -1469,6 +1568,7 @@ def main(argv: list[str] | None = None) -> int:
             pr6_report,
             pr7_report,
             pr8_report,
+            pr10_report,
         )
     ) else 1
 

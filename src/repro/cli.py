@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli lifecycle --epochs 4 --fund 500000
     python -m repro.cli inspect --epochs 2
     python -m repro.cli metrics --epochs 1 --format table
+    python -m repro.cli market --scenario all --txs 8
 """
 
 from __future__ import annotations
@@ -133,8 +134,43 @@ def _print_span_tree(spans, indent: int) -> None:
         _print_span_tree(span.children, indent + 1)
 
 
+def _cmd_market(args: argparse.Namespace) -> int:
+    """Run proof-market red-team scenarios and print their gated outcomes."""
+    from repro.scenarios.adversarial import SCENARIOS, run_all
+
+    seed = args.seed.encode()
+    if args.scenario == "all":
+        reports = run_all(seed=seed, tx_count=args.txs)
+    elif args.scenario in SCENARIOS:
+        reports = [SCENARIOS[args.scenario]().run(seed=seed, tx_count=args.txs)]
+    else:
+        known = ", ".join(sorted(SCENARIOS))
+        print(f"error: unknown scenario {args.scenario!r} (one of: {known})",
+              file=sys.stderr)
+        return 2
+    if args.format == "json":
+        import json
+
+        print(json.dumps([rep.to_dict() for rep in reports], indent=2))
+        return 0 if all(rep.passed for rep in reports) else 1
+    for rep in reports:
+        stmt = rep.statement
+        print(
+            f"{rep.name}: {'PASS' if rep.passed else 'FAIL'} "
+            f"({rep.tx_count} txs, seed {rep.seed.decode(errors='replace')})"
+        )
+        print(
+            f"  pool {stmt['pool_in']} = forger {stmt['forger_reward']} + "
+            f"paid {stmt['total_paid']}; slashed {stmt['total_slashed']}, "
+            f"pot out {stmt['slash_pot_out']}"
+        )
+        for name, ok in sorted(rep.checks.items()):
+            print(f"  check {name}: {'ok' if ok else 'FAIL'}")
+    return 0 if all(rep.passed for rep in reports) else 1
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
-    print("available commands: list, quickstart, lifecycle, inspect, metrics")
+    print("available commands: list, quickstart, lifecycle, inspect, metrics, market")
     print("examples directory: quickstart.py, multi_sidechain_platform.py,")
     print("  payment_network.py, ceased_sidechain_recovery.py,")
     print("  certificate_latency_study.py, federated_sidechain.py,")
@@ -198,6 +234,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: human table + span tree)",
     )
     metrics.set_defaults(func=_cmd_metrics)
+
+    market = sub.add_parser(
+        "market",
+        help="run the proof-market red-team scenarios (PR 10)",
+    )
+    market.add_argument(
+        "--scenario",
+        default="all",
+        help="scenario name (see repro.scenarios.adversarial.SCENARIOS) or 'all'",
+    )
+    market.add_argument("--seed", default="cli-market")
+    market.add_argument("--txs", type=int, default=6, help="transitions per epoch")
+    market.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: per-check text)",
+    )
+    market.set_defaults(func=_cmd_market)
     return parser
 
 

@@ -204,3 +204,8 @@ class NodeCrashed(LatusError):
 
 class ForgingError(LatusError):
     """A block could not be forged (not leader, no parent, ...)."""
+
+
+class MarketError(LatusError):
+    """A proof-market invariant failed (bad participant set, broken reward
+    conservation, no eligible prover where the protocol requires one)."""

@@ -1,0 +1,214 @@
+"""Prover accounts: stake, strikes, slashing and bans across epochs.
+
+The incentive paper backs assignment with *stake*: provers bond an amount,
+misbehaviour burns part of it (slashing) and repeated misbehaviour excludes
+the prover from assignment entirely (banning).  :class:`ProverLedger` is
+that registry, and it is **persistent across epochs** — the dispatcher
+advances it at every epoch boundary, bans tick down in epochs, and slashed
+stake accumulates in a pot that funds the *next* epoch's reward pool (so
+punishing an attacker literally pays the honest provers that cover for it).
+
+Offence taxonomy (mirrors ``repro_market_rejections_total{reason}``):
+
+``invalid_proof``
+    A submission that failed verification — provable fraud, so it both
+    strikes and slashes ``slash_bp_invalid`` basis points of current stake.
+``no_submission``
+    An assigned task the prover never delivered (lazy, censoring or
+    colluding — the market cannot tell which).  Strikes only: absence is
+    not attributable fraud.
+``transport``
+    A submission lost by the network (a :class:`~repro.network.faults.FaultPlan`
+    decision).  Strikes only, same as ``no_submission`` — from the forger's
+    view an undelivered proof is an undelivered proof.
+
+``ban_after_strikes`` strikes within a single epoch ban the prover for
+``ban_epochs`` epochs, effective immediately (mid-epoch reassignment skips
+banned provers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import observability
+from repro.encoding import Encoder
+from repro.errors import MarketError
+from repro.latus.market.rewards import BP_DENOM
+
+_REGISTRY = observability.registry()
+_SLASHES = _REGISTRY.counter(
+    "repro_market_slashes_total",
+    "slashing events applied by the prover ledger",
+).labels()
+_SLASHED_UNITS = _REGISTRY.counter(
+    "repro_market_slashed_units_total",
+    "total stake units slashed by the prover ledger",
+).labels()
+_BANS = _REGISTRY.counter(
+    "repro_market_bans_total",
+    "provers banned after exceeding the per-epoch strike threshold",
+).labels()
+
+#: The rejection reasons the ledger recognises.
+REASONS = ("invalid_proof", "no_submission", "transport")
+
+
+@dataclass(frozen=True)
+class LedgerParams:
+    """Punishment policy knobs (defaults follow the incentive paper's
+    qualitative shape: fraud is slashed, absence is struck, recidivism is
+    banned)."""
+
+    #: Basis points of *current* stake slashed per invalid submission.
+    slash_bp_invalid: int = 500
+    #: Strikes within one epoch that trigger a ban.
+    ban_after_strikes: int = 3
+    #: How many epochs a ban lasts.
+    ban_epochs: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.slash_bp_invalid <= BP_DENOM:
+            raise MarketError(
+                f"slash_bp_invalid must be within [0, {BP_DENOM}], got "
+                f"{self.slash_bp_invalid}"
+            )
+        if self.ban_after_strikes < 1:
+            raise MarketError("ban_after_strikes must be at least 1")
+        if self.ban_epochs < 1:
+            raise MarketError("ban_epochs must be at least 1")
+
+
+@dataclass
+class ProverAccount:
+    """One prover's persistent market state."""
+
+    name: str
+    stake: int
+    strikes_total: int = 0
+    strikes_epoch: int = 0
+    slashed_total: int = 0
+    rewards_total: int = 0
+    #: First epoch the prover is eligible again; banned while
+    #: ``current_epoch < banned_until``.
+    banned_until: int = 0
+
+    def banned(self, epoch: int) -> bool:
+        return epoch < self.banned_until
+
+    def encode(self) -> bytes:
+        return (
+            Encoder()
+            .text(self.name)
+            .u64(self.stake)
+            .u32(self.strikes_total)
+            .u32(self.strikes_epoch)
+            .u64(self.slashed_total)
+            .u64(self.rewards_total)
+            .u32(self.banned_until)
+            .done()
+        )
+
+
+@dataclass
+class RejectionOutcome:
+    """What the ledger did about one rejection."""
+
+    struck: bool
+    slashed: int
+    banned: bool
+
+
+@dataclass
+class ProverLedger:
+    """The persistent prover registry the market dispatches against."""
+
+    params: LedgerParams = field(default_factory=LedgerParams)
+    epoch: int = 0
+    slash_pot: int = 0
+    accounts: dict[str, ProverAccount] = field(default_factory=dict)
+
+    # -- registration -------------------------------------------------------------
+
+    def register(self, name: str, stake: int) -> ProverAccount:
+        """Bond ``stake`` under ``name`` (names are unique)."""
+        if name in self.accounts:
+            raise MarketError(f"prover {name!r} is already registered")
+        if stake <= 0:
+            raise MarketError(f"prover {name!r} must bond positive stake, got {stake}")
+        account = ProverAccount(name=name, stake=stake)
+        self.accounts[name] = account
+        return account
+
+    def account(self, name: str) -> ProverAccount:
+        try:
+            return self.accounts[name]
+        except KeyError:
+            raise MarketError(f"unknown prover {name!r}") from None
+
+    # -- assignment view ----------------------------------------------------------
+
+    def active_stakes(self) -> list[tuple[str, int]]:
+        """The assignable population: unbanned provers with stake, name-sorted."""
+        return sorted(
+            (account.name, account.stake)
+            for account in self.accounts.values()
+            if account.stake > 0 and not account.banned(self.epoch)
+        )
+
+    # -- accounting ---------------------------------------------------------------
+
+    def credit(self, name: str, amount: int) -> None:
+        """Pay a reward (rewards are income, not bonded stake)."""
+        if amount < 0:
+            raise MarketError(f"cannot credit a negative reward ({amount})")
+        self.account(name).rewards_total += amount
+
+    def note_rejection(self, name: str, reason: str) -> RejectionOutcome:
+        """Strike (and for fraud, slash) a prover; ban on recidivism."""
+        if reason not in REASONS:
+            raise MarketError(f"unknown rejection reason {reason!r}")
+        account = self.account(name)
+        account.strikes_total += 1
+        account.strikes_epoch += 1
+        slashed = 0
+        if reason == "invalid_proof":
+            slashed = account.stake * self.params.slash_bp_invalid // BP_DENOM
+            if slashed > 0:
+                account.stake -= slashed
+                account.slashed_total += slashed
+                self.slash_pot += slashed
+                _SLASHES.inc()
+                _SLASHED_UNITS.inc(slashed)
+        banned = False
+        if (
+            account.strikes_epoch >= self.params.ban_after_strikes
+            and not account.banned(self.epoch)
+        ):
+            account.banned_until = self.epoch + self.params.ban_epochs
+            banned = True
+            _BANS.inc()
+        return RejectionOutcome(struck=True, slashed=slashed, banned=banned)
+
+    def take_pot(self) -> int:
+        """Drain the slash pot (the next epoch's extra pool funding)."""
+        value = self.slash_pot
+        self.slash_pot = 0
+        return value
+
+    def advance_epoch(self) -> None:
+        """Epoch boundary: bans age by one epoch, per-epoch strikes reset."""
+        self.epoch += 1
+        for account in self.accounts.values():
+            account.strikes_epoch = 0
+
+    # -- determinism --------------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Canonical byte form of the whole ledger state."""
+        enc = Encoder().u32(self.epoch).u64(self.slash_pot)
+        enc.sequence(
+            sorted(self.accounts.values(), key=lambda a: a.name),
+            lambda e, account: e.var_bytes(account.encode()),
+        )
+        return enc.done()

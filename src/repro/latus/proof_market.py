@@ -106,15 +106,36 @@ class ProofDispatcher:
         self.seed = seed
         self.per_proof_reward = per_proof_reward
         self.composer = RecursiveComposer(LatusTransitionSystem())
+        #: Every attempt as ``(level, index, attempt, worker, accepted)`` —
+        #: the audit trail the exclusion regression test checks.
+        self.task_log: list[tuple[int, int, int, str, bool]] = []
 
     # -- assignment ---------------------------------------------------------------
 
-    def _assign(self, level: int, index: int, attempt: int) -> ProofWorker:
+    def _assign(
+        self, level: int, index: int, attempt: int, excluded: set[str] | None = None
+    ) -> ProofWorker:
+        """The worker for a task attempt, skipping the task's prior rejectors.
+
+        ``excluded`` holds the names of workers that already failed this
+        task: a retry must never hand the task back to its own rejector,
+        or a ``fail_every > 1`` worker farms rewards on its own retries.
+        When every worker has rejected the task the exclusion resets (the
+        retry loop, not assignment, decides when to give up).  On attempt 0
+        the exclusion set is empty, so first assignments are unchanged.
+        """
+        eligible = (
+            [w for w in self.workers if w.name not in excluded]
+            if excluded
+            else self.workers
+        )
+        if not eligible:
+            eligible = self.workers
         material = (
             Encoder().raw(self.seed).u32(level).u32(index).u32(attempt).done()
         )
         digest = hash_bytes(material, b"proof-market/assign")
-        return self.workers[int.from_bytes(digest[:4], "little") % len(self.workers)]
+        return eligible[int.from_bytes(digest[:4], "little") % len(eligible)]
 
     # -- proving ---------------------------------------------------------------------
 
@@ -195,8 +216,9 @@ class ProofDispatcher:
     def _run_base_task(self, level, index, state, transition, rewards, rejected):
         total = 0.0
         per_worker: dict[str, float] = {}
+        excluded: set[str] = set()
         for attempt in range(4 * len(self.workers)):
-            worker = self._assign(level, index, attempt)
+            worker = self._assign(level, index, attempt, excluded)
             started = time.perf_counter()
             if worker.should_fail():
                 # a lazy/malicious worker ships garbage: one flipped byte
@@ -207,19 +229,25 @@ class ProofDispatcher:
             total += elapsed
             per_worker[worker.name] = per_worker.get(worker.name, 0.0) + elapsed
             worker.busy_seconds += elapsed
-            if candidate is not None and self.composer.verify(candidate):
+            accepted = candidate is not None and self.composer.verify(candidate)
+            self.task_log.append((level, index, attempt, worker.name, accepted))
+            if accepted:
                 worker.proofs_produced += 1
                 rewards[worker.name] += self.per_proof_reward
                 return candidate, next_state, (total, per_worker)
             worker.proofs_rejected += 1
             rejected[worker.name] += 1
+            excluded.add(worker.name)
+            if len(excluded) >= len(self.workers):
+                excluded.clear()
         raise SnarkError(f"no worker produced a valid base proof for task {index}")
 
     def _run_merge_task(self, level, index, left, right, rewards, rejected):
         total = 0.0
         per_worker: dict[str, float] = {}
+        excluded: set[str] = set()
         for attempt in range(4 * len(self.workers)):
-            worker = self._assign(level, index, attempt)
+            worker = self._assign(level, index, attempt, excluded)
             started = time.perf_counter()
             if worker.should_fail():
                 candidate = None
@@ -229,10 +257,15 @@ class ProofDispatcher:
             total += elapsed
             per_worker[worker.name] = per_worker.get(worker.name, 0.0) + elapsed
             worker.busy_seconds += elapsed
-            if candidate is not None and self.composer.verify(candidate):
+            accepted = candidate is not None and self.composer.verify(candidate)
+            self.task_log.append((level, index, attempt, worker.name, accepted))
+            if accepted:
                 worker.proofs_produced += 1
                 rewards[worker.name] += self.per_proof_reward
                 return candidate, (total, per_worker)
             worker.proofs_rejected += 1
             rejected[worker.name] += 1
+            excluded.add(worker.name)
+            if len(excluded) >= len(self.workers):
+                excluded.clear()
         raise SnarkError(f"no worker produced a valid merge proof at level {level}")

@@ -1,5 +1,17 @@
-"""Scenario orchestration: full-deployment harness and workload generators."""
+"""Scenario orchestration: full-deployment harness, workload generators and
+the adversarial proof-market red-team suite."""
 
+from repro.scenarios.adversarial import (
+    SCENARIOS,
+    AdversarialScenario,
+    CartelWithholdScenario,
+    CensorshipScenario,
+    InvalidProofSpamScenario,
+    LazyProverScenario,
+    ScenarioReport,
+    SubmissionLossScenario,
+    run_all,
+)
 from repro.scenarios.harness import (
     SidechainHandle,
     ZendooHarness,
@@ -9,12 +21,21 @@ from repro.scenarios.multi_node import ChaosReport, MultiNodeDeployment
 from repro.scenarios.workload import Account, PaymentWorkload, make_accounts
 
 __all__ = [
+    "SCENARIOS",
     "Account",
+    "AdversarialScenario",
+    "CartelWithholdScenario",
+    "CensorshipScenario",
     "ChaosReport",
+    "InvalidProofSpamScenario",
+    "LazyProverScenario",
     "MultiNodeDeployment",
     "PaymentWorkload",
+    "ScenarioReport",
     "SidechainHandle",
+    "SubmissionLossScenario",
     "ZendooHarness",
     "latus_sidechain_config",
     "make_accounts",
+    "run_all",
 ]

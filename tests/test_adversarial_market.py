@@ -1,0 +1,147 @@
+"""Tests for the adversarial proof-market scenarios (repro.scenarios.adversarial).
+
+Each red-team scenario must pass every one of its own gates, and the gates
+themselves must be meaningful: seeded-deterministic, metric-backed, and
+sensitive to the attack actually having happened.
+"""
+
+import pytest
+
+from repro.scenarios.adversarial import (
+    SCENARIOS,
+    CartelWithholdScenario,
+    CensorshipScenario,
+    InvalidProofSpamScenario,
+    LazyProverScenario,
+    SubmissionLossScenario,
+    payment_epoch,
+    run_all,
+)
+
+QUICK_TXS = 6
+
+
+@pytest.fixture(scope="module")
+def reports():
+    """One quick-shape sweep shared by the per-scenario assertions."""
+    return {rep.name: rep for rep in run_all(seed=b"test", tx_count=QUICK_TXS)}
+
+
+class TestScenarioRegistry:
+    def test_covers_the_issue_threat_model(self):
+        assert {
+            "lazy-prover",
+            "invalid-proof-spam",
+            "censorship",
+            "cartel-withhold",
+            "submission-loss",
+        } <= set(SCENARIOS)
+
+    def test_registry_names_match_classes(self):
+        for name, cls in SCENARIOS.items():
+            assert cls.name == name
+
+
+class TestEveryScenarioPasses:
+    def test_all_pass_quick_shape(self, reports):
+        for name, rep in reports.items():
+            assert rep.passed, f"{name} failed gates: {rep.failed_checks}"
+
+    def test_common_gates_present_everywhere(self, reports):
+        for rep in reports.values():
+            for gate in (
+                "epoch_proven",
+                "proof_matches_honest",
+                "digest_matches_honest",
+                "conservation_exact",
+                "deterministic_replay",
+            ):
+                assert gate in rep.checks, (rep.name, gate)
+
+    def test_metric_deltas_are_market_scoped_and_nonempty(self, reports):
+        for rep in reports.values():
+            assert rep.metric_deltas, rep.name
+            assert all(k.startswith("repro_market_") for k in rep.metric_deltas)
+
+    def test_reports_serialize(self, reports):
+        for rep in reports.values():
+            as_dict = rep.to_dict()
+            assert as_dict["passed"] is True
+            assert as_dict["name"] == rep.name
+            assert bytes.fromhex(as_dict["seed"]) == rep.seed
+
+
+class TestDeterminism:
+    def test_rerun_is_byte_identical(self):
+        one = LazyProverScenario().run(seed=b"det", tx_count=QUICK_TXS)
+        two = LazyProverScenario().run(seed=b"det", tx_count=QUICK_TXS)
+        assert one.checks == two.checks
+        assert one.metric_deltas == two.metric_deltas
+        assert one.statement == two.statement
+
+    def test_seed_changes_the_run(self):
+        one = SubmissionLossScenario().run(seed=b"seed-a", tx_count=QUICK_TXS)
+        two = SubmissionLossScenario().run(seed=b"seed-b", tx_count=QUICK_TXS)
+        # both pass, but the fee chains (and so the schedules) differ
+        assert one.passed and two.passed
+        assert one.seed != two.seed
+
+
+class TestAttackSpecificOutcomes:
+    def test_lazy_prover_struck_not_slashed(self, reports):
+        rep = reports["lazy-prover"]
+        assert rep.checks["offender_unpaid"]
+        assert rep.checks["offender_not_slashed"]
+        assert rep.statement["total_slashed"] == 0
+
+    def test_spam_is_slashed_and_pot_carried(self, reports):
+        rep = reports["invalid-proof-spam"]
+        assert rep.statement["total_slashed"] > 0
+        assert rep.statement["slash_pot_out"] > 0
+        assert rep.metric_deltas.get("repro_market_slashes_total", 0) > 0
+
+    def test_censorship_targets_are_flagged_exactly(self, reports):
+        rep = reports["censorship"]
+        assert rep.checks["attack_staged"]
+        assert rep.checks["targets_flagged"]
+
+    def test_cartel_bans_carry_into_next_epoch(self, reports):
+        rep = reports["cartel-withhold"]
+        assert rep.checks["member_banned"]
+        assert rep.checks["banned_unassignable_next_epoch"]
+        assert rep.checks["banned_unpaid_next_epoch"]
+
+    def test_network_loss_never_slashes(self, reports):
+        rep = reports["submission-loss"]
+        assert rep.checks["nobody_slashed"]
+        assert rep.metric_deltas.get(
+            'repro_market_rejections_total{reason="transport"}', 0
+        ) > 0
+
+
+class TestPaymentEpochHelper:
+    def test_fees_are_positive_and_seeded(self):
+        _, txs = payment_epoch(4, b"helper")
+        fees = [tx.total_in - tx.total_out for tx in txs]
+        assert all(fee > 0 for fee in fees)
+        _, replay = payment_epoch(4, b"helper")
+        assert [t.txid for t in txs] == [t.txid for t in replay]
+        _, other = payment_epoch(4, b"other")
+        assert [t.txid for t in txs] != [t.txid for t in other]
+
+
+class TestFullShape:
+    @pytest.mark.slow
+    def test_full_sweep_passes(self):
+        for rep in run_all(seed=b"full", tx_count=16):
+            assert rep.passed, f"{rep.name} failed gates: {rep.failed_checks}"
+
+    def test_individual_scenarios_pass_at_odd_sizes(self):
+        # odd-count trees exercise the carry path in task enumeration
+        for cls in (CensorshipScenario, InvalidProofSpamScenario):
+            rep = cls().run(seed=b"odd", tx_count=5)
+            assert rep.passed, f"{cls.name} failed gates: {rep.failed_checks}"
+
+    def test_cartel_passes_at_quick_size(self):
+        rep = CartelWithholdScenario().run(seed=b"small", tx_count=QUICK_TXS)
+        assert rep.passed, rep.failed_checks

@@ -127,6 +127,58 @@ class TestWorkflowStructure:
         suite = [cmd for cmd in job_commands(job) if "python -m pytest" in cmd]
         assert suite and "not slow" not in suite[0]
 
+    def test_scenario_adversarial_leg_uploads_pr10_report(self, workflow):
+        """The PR 10 leg: the proof-market red-team suite runs on every
+        push/PR via ``--adversarial-only`` and always uploads
+        BENCH_pr10.json."""
+        job = workflow["jobs"]["scenario-adversarial"]
+        assert "if" not in job, "the quick attack suite must gate PRs"
+        assert "python -m benchmarks.smoke --adversarial-only" in job_commands(job)
+        uploads = [
+            step for step in job["steps"]
+            if "upload-artifact" in step.get("uses", "")
+        ]
+        assert uploads and uploads[0]["with"]["path"] == "BENCH_pr10.json"
+        assert uploads[0]["if"] == "always()"
+        assert uploads[0]["with"]["if-no-files-found"] == "error"
+
+    def test_scenario_adversarial_full_sweep_is_nightly_gated(self, workflow):
+        """REPRO_ADVERSARIAL_FULL flips to 1 only for schedule/dispatch
+        events — PRs run the quick shape, the nightly the full red-team."""
+        env = workflow["jobs"]["scenario-adversarial"]["env"]
+        gate = env["REPRO_ADVERSARIAL_FULL"]
+        assert "schedule" in gate and "workflow_dispatch" in gate
+        assert "'1'" in gate and "'0'" in gate
+
+    def test_concurrency_cancels_superseded_runs(self, workflow):
+        """A new push cancels the superseded run of the same ref; nightly
+        runs are keyed by run_id so they can never cancel each other."""
+        concurrency = workflow["concurrency"]
+        assert "github.ref" in concurrency["group"]
+        assert "github.run_id" in concurrency["group"]
+        assert "schedule" in str(concurrency["cancel-in-progress"])
+
+    def test_every_job_has_a_timeout(self, workflow):
+        for name, job in workflow["jobs"].items():
+            assert isinstance(job.get("timeout-minutes"), int), (
+                f"job {name!r} has no timeout-minutes"
+            )
+
+    def test_every_upload_errors_on_missing_files(self, workflow):
+        """Every artifact upload in every job must fail loudly when the
+        bench produced nothing (a silent empty artifact hides a broken
+        gate)."""
+        for name, job in workflow["jobs"].items():
+            for step in job["steps"]:
+                if "upload-artifact" not in step.get("uses", ""):
+                    continue
+                assert step["with"]["if-no-files-found"] == "error", (
+                    f"upload in job {name!r} tolerates missing files"
+                )
+                assert step["if"] == "always()", (
+                    f"upload in job {name!r} is skipped on failure"
+                )
+
     def test_every_job_checks_out_and_sets_up_python(self, workflow):
         for name, job in workflow["jobs"].items():
             uses = [step.get("uses", "") for step in job["steps"]]

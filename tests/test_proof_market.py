@@ -131,6 +131,58 @@ class TestMisbehaviour:
         assert workers[1].proofs_rejected > 0 or workers[1].proofs_produced > 0
 
 
+class TestRejectorExclusion:
+    """Regression: a retry must never return to the worker that failed it.
+
+    Before the fix, ``_assign`` hashed over the full worker list on every
+    attempt, so a ``fail_every > 1`` worker could be handed the retry of a
+    task it had just failed — farming rewards on its own rejections.
+    """
+
+    def test_retry_never_returns_to_rejector(self):
+        workers = [
+            ProofWorker(name="honest"),
+            ProofWorker(name="flaky", fail_every=2),
+            ProofWorker(name="crashy", fail_every=3),
+        ]
+        dispatcher = ProofDispatcher(workers, seed=b"exclusion")
+        state, txs = payment_chain(8)
+        result = dispatcher.prove_epoch(state, txs)
+        assert dispatcher.composer.verify(result.proof)
+        retried = 0
+        rejectors: dict[tuple[int, int], set[str]] = {}
+        for level, index, attempt, name, accepted in dispatcher.task_log:
+            prior = rejectors.setdefault((level, index), set())
+            if attempt > 0:
+                retried += 1
+                assert name not in prior, (
+                    f"task ({level},{index}) attempt {attempt} went back to "
+                    f"its own rejector {name!r}"
+                )
+            if not accepted:
+                prior.add(name)
+        assert retried > 0, "scenario produced no retries; weaken fail_every"
+
+    def test_first_attempt_assignment_unchanged(self):
+        # attempt-0 draws ignore the (empty) exclusion set, so honest-pool
+        # schedules are identical to the pre-fix dispatcher's
+        a = ProofDispatcher(honest_pool(3), seed=b"same")
+        b = ProofDispatcher(honest_pool(3), seed=b"same")
+        state, txs = payment_chain(4)
+        a.prove_epoch(state, txs)
+        b.prove_epoch(state, txs)
+        assert a.task_log == b.task_log
+        assert all(attempt == 0 for _, _, attempt, _, _ in a.task_log)
+
+    def test_single_worker_pool_retains_liveness(self):
+        # with everyone excluded the exclusion resets instead of deadlocking
+        workers = [ProofWorker(name="only", fail_every=2)]
+        dispatcher = ProofDispatcher(workers)
+        state, txs = payment_chain(3)
+        result = dispatcher.prove_epoch(state, txs)
+        assert dispatcher.composer.verify(result.proof)
+
+
 class TestEquivalenceWithLocalProving:
     def test_same_digests_as_single_prover(self):
         from repro.latus.proofs import EpochProver
